@@ -1,0 +1,340 @@
+// Benchmarks regenerating the clMPI paper's evaluation (§V). Each paper
+// table/figure has a Benchmark* family below; custom metrics carry the
+// quantity the paper plots (MB/s, GFLOPS, ms/step). Virtual time makes the
+// measured quantities deterministic; b.N only controls how often the
+// simulation is repeated for host-side timing.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig8a        # one figure
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cl"
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/mpi"
+	"repro/internal/nanopowder"
+	"repro/internal/sim"
+)
+
+// newP2PRig wires a two-node world with attached contexts and runtimes.
+func newP2PRig(sys cluster.System, opts clmpi.Options) (*sim.Engine, *mpi.World, *clmpi.Fabric, []*cl.Context, []*clmpi.Runtime) {
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, sys, 2)
+	world := mpi.NewWorld(clus)
+	fab := clmpi.New(world, opts)
+	var ctxs []*cl.Context
+	var rts []*clmpi.Runtime
+	for i := 0; i < 2; i++ {
+		ctx := cl.NewContext(cl.NewDevice(eng, clus.Nodes[i]), fmt.Sprintf("ctx%d", i))
+		ctxs = append(ctxs, ctx)
+		rts = append(rts, fab.Attach(ctx, world.Endpoint(i)))
+	}
+	return eng, world, fab, ctxs, rts
+}
+
+// --- Table I ---------------------------------------------------------------
+
+// BenchmarkTable1SystemSpecs renders the system table (Table I); the metric
+// is the render cost, the value is the table itself (printed once).
+func BenchmarkTable1SystemSpecs(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table1()
+	}
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+	_ = out
+}
+
+// --- Figure 8: point-to-point bandwidth -------------------------------------
+
+func benchP2P(b *testing.B, sys cluster.System, st clmpi.Strategy, block, size int64) {
+	b.Helper()
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		bw, err = bench.MeasureP2P(sys, st, block, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bw/1e6, "MB/s")
+}
+
+// fig8Cases is the sweep both Fig8 benchmark families share.
+func fig8Cases(b *testing.B, sys cluster.System) {
+	b.Helper()
+	for _, im := range bench.Fig8Impls() {
+		for _, size := range []int64{256 << 10, 4 << 20, 64 << 20} {
+			name := fmt.Sprintf("%s/msg=%dKiB", im.Name, size>>10)
+			b.Run(name, func(b *testing.B) { benchP2P(b, sys, im.St, im.Block, size) })
+		}
+	}
+}
+
+// BenchmarkFig8a sweeps the transfer implementations on Cichlid (GbE).
+func BenchmarkFig8a(b *testing.B) { fig8Cases(b, cluster.Cichlid()) }
+
+// BenchmarkFig8b sweeps the transfer implementations on RICC (InfiniBand).
+func BenchmarkFig8b(b *testing.B) { fig8Cases(b, cluster.RICC()) }
+
+// --- Figure 9: Himeno sustained performance ---------------------------------
+
+func benchHimeno(b *testing.B, sys cluster.System, nodes int, impl himeno.Impl) {
+	b.Helper()
+	var res *himeno.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = himeno.Run(himeno.Config{
+			System: sys, Nodes: nodes, Size: himeno.SizeM, Iters: 3,
+			Impl: impl, Mode: himeno.OfficialInit,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GFLOPS, "GFLOPS")
+	if impl == himeno.Serial && res.CommTime > 0 {
+		b.ReportMetric(res.CompTime.Seconds()/res.CommTime.Seconds(), "comp/comm")
+	}
+}
+
+// BenchmarkFig9a is Himeno M on Cichlid: {1,2,4} nodes × three impls.
+func BenchmarkFig9a(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4} {
+		for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", nodes, impl), func(b *testing.B) {
+				benchHimeno(b, cluster.Cichlid(), nodes, impl)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9b is Himeno M on RICC up to 64 nodes.
+func BenchmarkFig9b(b *testing.B) {
+	for _, nodes := range []int{1, 4, 16, 64} {
+		for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", nodes, impl), func(b *testing.B) {
+				benchHimeno(b, cluster.RICC(), nodes, impl)
+			})
+		}
+	}
+}
+
+// --- Figure 10: nanopowder growth simulation --------------------------------
+
+// BenchmarkFig10 compares the baseline and clMPI coefficient distribution
+// across the divisors of 40. Bins are reduced from the paper-scale default
+// to keep host time low; cmd/clmpi-nanopowder runs the full 42 MB version.
+func BenchmarkFig10(b *testing.B) {
+	params := nanopowder.Params{Cells: 40, Bins: 128, Steps: 2, SubSteps: 120}
+	for _, nodes := range bench.Fig10Nodes() {
+		for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", nodes, impl), func(b *testing.B) {
+				var res *nanopowder.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = nanopowder.Run(nanopowder.Config{
+						System: cluster.RICC(), Nodes: nodes, Impl: impl, Params: params,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.StepTime.Seconds()*1e3, "ms/step")
+			})
+		}
+	}
+}
+
+// --- Figure 4: scheduling timelines ------------------------------------------
+
+// BenchmarkFig4Traces regenerates the three timeline panels; the metric is
+// the per-iteration virtual time of the traced two-node run, which is what
+// the panels visualize.
+func BenchmarkFig4Traces(b *testing.B) {
+	for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI} {
+		b.Run(impl.String(), func(b *testing.B) {
+			var res *himeno.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = himeno.Run(himeno.Config{
+					System: cluster.Cichlid(), Nodes: 2, Size: himeno.SizeS, Iters: 2,
+					Impl: impl, Mode: himeno.OfficialInit,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds()*1e3/2, "ms/iter")
+		})
+	}
+}
+
+// --- Ablations (design decisions called out in DESIGN.md) --------------------
+
+// BenchmarkAblationAutoVsFixed quantifies §V-B's automatic selection: Auto
+// must track the best fixed strategy at both a small and a large message on
+// both systems.
+func BenchmarkAblationAutoVsFixed(b *testing.B) {
+	for name, sys := range cluster.Systems() {
+		for _, size := range []int64{128 << 10, 32 << 20} {
+			b.Run(fmt.Sprintf("%s/msg=%dKiB", name, size>>10), func(b *testing.B) {
+				var auto, best float64
+				for i := 0; i < b.N; i++ {
+					var err error
+					auto, err = bench.MeasureP2P(sys, clmpi.Auto, 0, size)
+					if err != nil {
+						b.Fatal(err)
+					}
+					best = 0
+					for _, st := range []clmpi.Strategy{clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined} {
+						bw, err := bench.MeasureP2P(sys, st, 0, size)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if bw > best {
+							best = bw
+						}
+					}
+				}
+				b.ReportMetric(auto/1e6, "auto_MB/s")
+				b.ReportMetric(auto/best, "auto/best")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRingDepth sweeps the pipelined staging ring depth: depth
+// 1 removes all overlap (each block must finish both hops before the next
+// starts), deeper rings approach the ideal pipeline.
+func BenchmarkAblationRingDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 6} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				eng, world, fab, ctxs, rts := newP2PRig(cluster.RICC(), clmpi.Options{
+					Strategy: clmpi.Pipelined, PipelineBlock: 1 << 20, RingBuffers: depth,
+				})
+				const size = 32 << 20
+				world.LaunchRanks("ring", func(p *sim.Proc, ep *mpi.Endpoint) {
+					q := ctxs[ep.Rank()].NewQueue("q")
+					buf := ctxs[ep.Rank()].MustCreateBuffer("b", size)
+					if ep.Rank() == 0 {
+						start := p.Now()
+						if _, err := rts[0].EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {
+							b.Error(err)
+							return
+						}
+						elapsed = p.Now().Sub(start)
+					} else {
+						if _, err := rts[1].EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, world.Comm(), nil); err != nil {
+							b.Error(err)
+						}
+					}
+				})
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				_ = fab
+			}
+			b.ReportMetric(float64(32<<20)/elapsed.Seconds()/1e6, "MB/s")
+		})
+	}
+}
+
+// BenchmarkDESEngine measures the simulation kernel itself: virtual events
+// processed per host second, the cost of the substrate everything above
+// runs on.
+func BenchmarkDESEngine(b *testing.B) {
+	const procs, wakeups = 64, 100
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		for j := 0; j < procs; j++ {
+			eng.Spawn("p", func(p *sim.Proc) {
+				for k := 0; k < wakeups; k++ {
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(procs*wakeups), "events/op")
+}
+
+// --- Future-work features (§VI) ---------------------------------------------
+
+// BenchmarkFileCheckpoint measures the §VI file-I/O commands: a Himeno run
+// checkpointing every other iteration vs the write time it hides.
+func BenchmarkFileCheckpoint(b *testing.B) {
+	var res *himeno.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = himeno.Run(himeno.Config{
+			System: cluster.RICC(), Nodes: 2, Size: himeno.SizeS, Iters: 4,
+			Impl: himeno.CLMPI, Mode: himeno.OfficialInit, CheckpointEvery: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Elapsed.Seconds()*1e3, "ms/run")
+}
+
+// BenchmarkIbcastOverlap measures the §VI non-blocking collective: time for
+// a broadcast fully overlapped with computation (ideal: max of the two).
+func BenchmarkIbcastOverlap(b *testing.B) {
+	const size = 16 << 20
+	const work = 20 * time.Millisecond
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		world := mpi.NewWorld(cluster.New(eng, cluster.RICC(), 4))
+		world.LaunchRanks("bcast", func(p *sim.Proc, ep *mpi.Endpoint) {
+			buf := make([]byte, size)
+			req := ep.Ibcast(p, buf, 0, world.Comm())
+			p.Sleep(work)
+			if _, err := req.Wait(p); err != nil {
+				b.Error(err)
+			}
+			if ep.Rank() == 0 {
+				elapsed = p.Now().Duration()
+			}
+		})
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(elapsed.Seconds()*1e3, "ms")
+}
+
+// BenchmarkGPUAwareVsCLMPI isolates the §II comparison at the Fig. 9(a)
+// operating point.
+func BenchmarkGPUAwareVsCLMPI(b *testing.B) {
+	for _, impl := range []himeno.Impl{himeno.HandOpt, himeno.GPUAware, himeno.CLMPI, himeno.CLMPIOutOfOrder} {
+		b.Run(impl.String(), func(b *testing.B) {
+			var res *himeno.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = himeno.Run(himeno.Config{
+					System: cluster.Cichlid(), Nodes: 4, Size: himeno.SizeM, Iters: 3,
+					Impl: impl, Mode: himeno.OfficialInit,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.GFLOPS, "GFLOPS")
+		})
+	}
+}

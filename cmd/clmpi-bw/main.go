@@ -1,0 +1,37 @@
+// Command clmpi-bw regenerates Figure 8 of the clMPI paper: the sustained
+// point-to-point bandwidth between two remote devices for the pinned,
+// mapped, and pipelined(N) data-transfer implementations, swept over
+// message sizes, on either simulated system.
+//
+// Usage:
+//
+//	clmpi-bw -system cichlid
+//	clmpi-bw -system ricc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func main() {
+	system := flag.String("system", "ricc", "system to simulate: cichlid or ricc")
+	flag.Parse()
+	sys, ok := cluster.Systems()[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: unknown system %q (want cichlid or ricc)\n", *system)
+		os.Exit(2)
+	}
+	fmt.Printf("Figure 8(%s): point-to-point sustained bandwidth on %s\n\n",
+		map[string]string{"cichlid": "a", "ricc": "b"}[*system], sys.Name)
+	headers, rows, err := bench.Fig8(sys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTable(headers, rows))
+}

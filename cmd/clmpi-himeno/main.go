@@ -1,0 +1,52 @@
+// Command clmpi-himeno regenerates Figure 9 of the clMPI paper: the
+// sustained performance of the Himeno benchmark under the serial,
+// hand-optimized, and clMPI implementations across node counts, on either
+// simulated system, annotated with the serial implementation's
+// computation/communication ratio.
+//
+// Usage:
+//
+//	clmpi-himeno -system cichlid -size M -iters 6
+//	clmpi-himeno -system ricc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+)
+
+func main() {
+	system := flag.String("system", "cichlid", "system to simulate: cichlid or ricc")
+	sizeName := flag.String("size", "M", "Himeno size: XS, S, M or L")
+	iters := flag.Int("iters", 6, "Jacobi iterations to time")
+	all := flag.Bool("all", false, "include the GPU-aware MPI (§II) and out-of-order clMPI implementations")
+	flag.Parse()
+	sys, ok := cluster.Systems()[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	size, err := himeno.SizeByName(*sizeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("Figure 9(%s): Himeno %s sustained performance on %s (%d iterations)\n\n",
+		map[string]string{"cichlid": "a", "ricc": "b"}[*system], size.Name, sys.Name, *iters)
+	impls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI}
+	if *all {
+		impls = append(impls, himeno.GPUAware, himeno.CLMPIOutOfOrder)
+	}
+	points, err := bench.Fig9With(sys, size, *iters, impls)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+		os.Exit(1)
+	}
+	headers, rows := bench.Fig9Table(points)
+	fmt.Print(bench.FormatTable(headers, rows))
+}

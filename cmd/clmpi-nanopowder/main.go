@@ -1,0 +1,38 @@
+// Command clmpi-nanopowder regenerates Figure 10 of the clMPI paper: the
+// per-step execution time of the nanopowder growth simulation on RICC for
+// the baseline (MPI_Isend + MPI_Recv + clEnqueueWriteBuffer) and clMPI
+// (MPI_Isend with MPI_CL_MEM + clEnqueueRecvBuffer) implementations, over
+// the node counts that divide the 40 reactor cells.
+//
+// Usage:
+//
+//	clmpi-nanopowder
+//	clmpi-nanopowder -steps 5 -bins 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/nanopowder"
+)
+
+func main() {
+	steps := flag.Int("steps", 3, "simulation steps to time")
+	bins := flag.Int("bins", 256, "particle size bins per cell")
+	flag.Parse()
+	params := nanopowder.DefaultParams()
+	params.Steps = *steps
+	params.Bins = *bins
+	fmt.Printf("Figure 10: nanopowder growth simulation on RICC (%d cells, %d bins, %.0f MB coefficients/step)\n\n",
+		params.Cells, params.Bins, float64(params.TotalCoeffBytes())/1e6)
+	points, err := bench.Fig10(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-nanopowder: %v\n", err)
+		os.Exit(1)
+	}
+	headers, rows := bench.Fig10Table(points)
+	fmt.Print(bench.FormatTable(headers, rows))
+}

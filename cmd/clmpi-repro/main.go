@@ -1,0 +1,140 @@
+// Command clmpi-repro regenerates the entire evaluation of the clMPI paper
+// in one run: Table I, Figures 4, 8(a), 8(b), 9(a), 9(b) and 10, followed
+// by the end-to-end bitwise verification summary. It is the "reproduce
+// everything" entry point; the per-figure tools (clmpi-bw, clmpi-himeno,
+// clmpi-nanopowder, clmpi-trace, clmpi-sysinfo, clmpi-ablate, clmpi-verify)
+// expose the same experiments individually with more knobs.
+//
+// Usage:
+//
+//	clmpi-repro               # full evaluation, ~1 minute of host time
+//	clmpi-repro -quick        # smaller problem sizes, a few seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/nanopowder"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	flag.Parse()
+
+	himenoSize := himeno.SizeM
+	himenoIters := 6
+	params := nanopowder.DefaultParams()
+	if *quick {
+		himenoSize = himeno.SizeS
+		himenoIters = 3
+		params = nanopowder.Params{Cells: 40, Bins: 96, Steps: 2, SubSteps: 120}
+	}
+
+	section("Table I — system specifications")
+	fmt.Print(bench.Table1())
+
+	section("Figure 4 — scheduling timelines (Himeno, 2 Cichlid nodes)")
+	for _, panel := range []struct {
+		name string
+		impl himeno.Impl
+	}{{"(a) serialized", himeno.Serial}, {"(b) hand-optimized", himeno.HandOpt}, {"(c) clMPI", himeno.CLMPI}} {
+		out, err := bench.Fig4(panel.impl, himeno.SizeS, 2)
+		check(err)
+		fmt.Printf("%s\n\n%s\n", panel.name, out)
+	}
+
+	for _, sysName := range []string{"cichlid", "ricc"} {
+		sys := cluster.Systems()[sysName]
+		section(fmt.Sprintf("Figure 8(%s) — p2p sustained bandwidth, %s",
+			map[string]string{"cichlid": "a", "ricc": "b"}[sysName], sys.Name))
+		headers, rows, err := bench.Fig8(sys)
+		check(err)
+		fmt.Print(bench.FormatTable(headers, rows))
+	}
+
+	for _, sysName := range []string{"cichlid", "ricc"} {
+		sys := cluster.Systems()[sysName]
+		section(fmt.Sprintf("Figure 9(%s) — Himeno %s sustained performance, %s (%d iterations)",
+			map[string]string{"cichlid": "a", "ricc": "b"}[sysName], himenoSize.Name, sys.Name, himenoIters))
+		nodes := bench.Fig9Nodes(sys)
+		if *quick && sysName == "ricc" {
+			nodes = []int{1, 2, 4, 8, 16, 32} // the S grid cannot feed 64 ranks
+		}
+		impls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI}
+		points, err := bench.Fig9Sweep(sys, himenoSize, himenoIters, impls, nodes)
+		check(err)
+		headers, rows := bench.Fig9Table(points)
+		fmt.Print(bench.FormatTable(headers, rows))
+	}
+
+	section(fmt.Sprintf("Figure 10 — nanopowder growth simulation, RICC (%.0f MB coefficients/step)",
+		float64(params.TotalCoeffBytes())/1e6))
+	points, err := bench.Fig10(params)
+	check(err)
+	headers, rows := bench.Fig10Table(points)
+	fmt.Print(bench.FormatTable(headers, rows))
+
+	section("Verification — distributed implementations vs host references")
+	verifySummary(himenoIters)
+}
+
+func section(title string) {
+	fmt.Printf("\n================================================================\n%s\n================================================================\n\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// verifySummary is a compact version of clmpi-verify.
+func verifySummary(iters int) {
+	wantGrid, _ := himeno.Reference(himeno.SizeXS, iters, himeno.ScrambledInit)
+	okAll := true
+	for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI, himeno.GPUAware, himeno.CLMPIOutOfOrder} {
+		res, err := himeno.Run(himeno.Config{
+			System: cluster.Cichlid(), Nodes: 4, Size: himeno.SizeXS, Iters: iters,
+			Impl: impl, Mode: himeno.ScrambledInit, Verify: true,
+		})
+		check(err)
+		ok := true
+		for i := range res.Grid {
+			if res.Grid[i] != wantGrid[i] {
+				ok = false
+				break
+			}
+		}
+		okAll = okAll && ok
+		fmt.Printf("Himeno %-16s 4 nodes: bitwise match = %v\n", impl.String(), ok)
+	}
+	params := nanopowder.Params{Cells: 8, Bins: 96, Steps: 2, SubSteps: 50}
+	wantCells := nanopowder.Reference(params)
+	for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
+		res, err := nanopowder.Run(nanopowder.Config{
+			System: cluster.RICC(), Nodes: 4, Impl: impl, Params: params, Verify: true,
+		})
+		check(err)
+		ok := true
+		for c := range wantCells {
+			for k := range wantCells[c] {
+				if res.Final[c][k] != wantCells[c][k] {
+					ok = false
+				}
+			}
+		}
+		okAll = okAll && ok
+		fmt.Printf("Nanopowder %-12s 4 nodes: bitwise match = %v\n", impl.String(), ok)
+	}
+	if !okAll {
+		fmt.Println("\nVERIFICATION FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("\nall verifications passed")
+}

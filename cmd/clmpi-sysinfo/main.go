@@ -1,0 +1,16 @@
+// Command clmpi-sysinfo prints Table I of the clMPI paper: the
+// specifications of the two simulated evaluation systems, Cichlid and RICC,
+// including the cost-model parameters this reproduction derives from them.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fmt.Println("Table I: system specifications (simulated)")
+	fmt.Println()
+	fmt.Print(bench.Table1())
+}

@@ -1,0 +1,46 @@
+// Command clmpi-trace regenerates Figure 4 of the clMPI paper: timeline
+// diagrams of how the serial, hand-optimized, and clMPI Himeno
+// implementations schedule kernels, PCIe copies, and inter-node
+// communication on a two-node run. Lanes are command queues; the clMPI
+// variant shows communication commands (S/R) overlapping kernels (K) with
+// the host thread blocked in neither.
+//
+// Usage:
+//
+//	clmpi-trace -size S -iters 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/himeno"
+)
+
+func main() {
+	sizeName := flag.String("size", "S", "Himeno size: XS, S, M or L")
+	iters := flag.Int("iters", 2, "iterations to trace")
+	flag.Parse()
+	size, err := himeno.SizeByName(*sizeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
+		os.Exit(2)
+	}
+	for _, impl := range []struct {
+		panel string
+		impl  himeno.Impl
+	}{
+		{"(a) serialized", himeno.Serial},
+		{"(b) hand-optimized (host-blocked overlap)", himeno.HandOpt},
+		{"(c) clMPI (event-driven overlap)", himeno.CLMPI},
+	} {
+		out, err := bench.Fig4(impl.impl, size, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Figure 4%s — Himeno %s, 2 nodes on Cichlid, %d iterations\n\n%s\n", impl.panel, size.Name, *iters, out)
+	}
+}

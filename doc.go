@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "clMPI: An OpenCL
+// Extension for Interoperation with the Message Passing Interface"
+// (Takizawa, Sugawara, Hirasawa, Gelado, Kobayashi, Hwu — IPDPS 2013).
+//
+// The paper's runtime and its entire stack are rebuilt on a deterministic
+// virtual-time simulation: an OpenCL-like device runtime (internal/cl), an
+// MPI-like message-passing runtime (internal/mpi), a hardware model of the
+// paper's two GPU clusters (internal/cluster), the clMPI extension itself
+// (internal/clmpi, re-exported as internal/core), and the two evaluation
+// applications — the Himeno benchmark (internal/himeno) and a nanopowder
+// growth simulation (internal/nanopowder).
+//
+// The benchmarks in bench_test.go and the cmd/clmpi-* tools regenerate
+// every table and figure of the paper's evaluation; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package repro

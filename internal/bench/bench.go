@@ -1,0 +1,170 @@
+// Package bench regenerates the clMPI paper's evaluation (§V): every table
+// and figure has a function here that runs the corresponding experiment on
+// the simulated systems and returns the series the paper plots. The
+// cmd/clmpi-* tools and the repository's testing.B benchmarks are thin
+// wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// MeasureP2P measures the sustained point-to-point bandwidth (bytes/s) of
+// one device→device transfer of size bytes under the given strategy — one
+// sample of Figure 8. block is the pipelined(N) buffer size (ignored by the
+// one-shot strategies).
+func MeasureP2P(sys cluster.System, st clmpi.Strategy, block, size int64) (float64, error) {
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, sys, 2)
+	world := mpi.NewWorld(clus)
+	opts := clmpi.Options{Strategy: st}
+	if block > 0 {
+		opts.PipelineBlock = block
+	}
+	fab := clmpi.New(world, opts)
+	var elapsed time.Duration
+	var firstErr error
+	world.LaunchRanks("bw", func(p *sim.Proc, ep *mpi.Endpoint) {
+		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("bw%d", ep.Rank()))
+		rt := fab.Attach(ctx, ep)
+		q := ctx.NewQueue(fmt.Sprintf("bwq%d", ep.Rank()))
+		buf, err := ctx.CreateBuffer("payload", size)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if ep.Rank() == 0 {
+			start := p.Now()
+			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {
+				firstErr = err
+				return
+			}
+			elapsed = p.Now().Sub(start)
+		} else {
+			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, world.Comm(), nil); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(size) / elapsed.Seconds(), nil
+}
+
+// Fig8Impl is one line of Figure 8.
+type Fig8Impl struct {
+	Name  string
+	St    clmpi.Strategy
+	Block int64 // pipelined(N) block; 0 for one-shot strategies
+}
+
+// Fig8Impls returns the implementations the paper sweeps: pinned, mapped,
+// and pipelined with 1 MiB and 4 MiB buffers.
+func Fig8Impls() []Fig8Impl {
+	return []Fig8Impl{
+		{"pinned", clmpi.Pinned, 0},
+		{"mapped", clmpi.Mapped, 0},
+		{"pipelined(1)", clmpi.Pipelined, 1 << 20},
+		{"pipelined(4)", clmpi.Pipelined, 4 << 20},
+	}
+}
+
+// Fig8Sizes returns the message-size sweep (64 KiB … 64 MiB).
+func Fig8Sizes() []int64 {
+	var out []int64
+	for s := int64(64 << 10); s <= 64<<20; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig8 runs the full bandwidth sweep for one system and returns a table:
+// one row per message size, one column per implementation, in MB/s.
+func Fig8(sys cluster.System) (headers []string, rows [][]string, err error) {
+	impls := Fig8Impls()
+	headers = []string{"msg bytes"}
+	for _, im := range impls {
+		headers = append(headers, im.Name+" MB/s")
+	}
+	for _, size := range Fig8Sizes() {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, im := range impls {
+			bw, merr := MeasureP2P(sys, im.St, im.Block, size)
+			if merr != nil {
+				return nil, nil, merr
+			}
+			row = append(row, fmt.Sprintf("%.1f", bw/1e6))
+		}
+		rows = append(rows, row)
+	}
+	return headers, rows, nil
+}
+
+// Table1 renders the system-specification table the paper's Table I gives.
+func Table1() string {
+	ci, ricc := cluster.Cichlid(), cluster.RICC()
+	rows := [][]string{
+		{"CPU", ci.CPU.Model, ricc.CPU.Model},
+		{"GPU", ci.GPU.Model, ricc.GPU.Model},
+		{"Nodes", fmt.Sprintf("%d", ci.MaxNodes), fmt.Sprintf("%d", ricc.MaxNodes)},
+		{"NIC", ci.NIC.Model, ricc.NIC.Model},
+		{"OS", ci.OS, ricc.OS},
+		{"Compiler", ci.Compiler, ricc.Compiler},
+		{"Driver Ver.", ci.Driver, ricc.Driver},
+		{"OpenCL", ci.OpenCL, ricc.OpenCL},
+		{"MPI", ci.MPI, ricc.MPI},
+		{"NIC BW (model)", fmt.Sprintf("%.0f MB/s", ci.NIC.BW/1e6), fmt.Sprintf("%.0f MB/s", ricc.NIC.BW/1e6)},
+		{"PCIe pinned (model)", fmt.Sprintf("%.1f GB/s", ci.GPU.PinnedBW/1e9), fmt.Sprintf("%.1f GB/s", ricc.GPU.PinnedBW/1e9)},
+		{"Default strategy", ci.DefaultStrategy, ricc.DefaultStrategy},
+	}
+	return FormatTable([]string{"", "Cichlid", "RICC"}, rows)
+}

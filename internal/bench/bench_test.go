@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/nanopowder"
+)
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a   long-header") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+}
+
+func TestMeasureP2PSane(t *testing.T) {
+	sys := cluster.RICC()
+	bw, err := MeasureP2P(sys, clmpi.Pipelined, 1<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw <= 0 || bw > sys.NIC.BW {
+		t.Fatalf("bandwidth %.0f MB/s outside (0, wire rate %.0f]", bw/1e6, sys.NIC.BW/1e6)
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	// Just the smallest size on Cichlid to keep the test fast: the sweep
+	// functions are exercised fully by the cmd tools and benchmarks.
+	headers, rows, err := Fig8(cluster.Cichlid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 1+len(Fig8Impls()) {
+		t.Fatalf("headers = %v", headers)
+	}
+	if len(rows) != len(Fig8Sizes()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig8Sizes()))
+	}
+	for _, r := range rows {
+		if len(r) != len(headers) {
+			t.Fatalf("ragged row %v", r)
+		}
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	pts, err := Fig9(cluster.Cichlid(), himeno.SizeXS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*len(Fig9Nodes(cluster.Cichlid())) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	headers, rows := Fig9Table(pts)
+	if len(rows) != len(Fig9Nodes(cluster.Cichlid())) || len(headers) != 6 {
+		t.Fatalf("table %dx%d", len(rows), len(headers))
+	}
+	// Serial rows carry a ratio, single-node reports ∞.
+	if rows[0][5] != "∞" {
+		t.Fatalf("1-node ratio = %q, want ∞", rows[0][5])
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	params := nanopowder.Params{Cells: 8, Bins: 48, Steps: 2, SubSteps: 50}
+	// Restrict to the divisors of 8 among the sweep by running directly.
+	pts := []Fig10Point{}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
+			res, err := nanopowder.Run(nanopowder.Config{
+				System: cluster.RICC(), Nodes: nodes, Impl: impl, Params: params,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, Fig10Point{Nodes: nodes, Impl: impl, StepTime: res.StepTime})
+		}
+	}
+	headers, rows := Fig10Table(pts)
+	if len(rows) != 4 || len(headers) != 5 {
+		t.Fatalf("table %dx%d", len(rows), len(headers))
+	}
+}
+
+func TestFig4ProducesTimeline(t *testing.T) {
+	out, err := Fig4(himeno.CLMPI, himeno.SizeXS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clmpi.qc0", "clmpi.qr1", "K", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1MentionsBothSystems(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Cichlid", "RICC", "Tesla C2070", "Tesla C1060", "InfiniBand"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q", want)
+		}
+	}
+}

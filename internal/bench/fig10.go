@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/nanopowder"
+)
+
+// Fig10Point is one (nodes, implementation) cell of Figure 10.
+type Fig10Point struct {
+	Nodes    int
+	Impl     nanopowder.Impl
+	StepTime time.Duration
+	Speedup  float64 // vs the 1-node baseline step time
+}
+
+// Fig10Nodes returns the divisors of 40 the paper can run (§V-D).
+func Fig10Nodes() []int { return []int{1, 2, 4, 5, 8, 10, 20, 40} }
+
+// Fig10 measures the nanopowder step time for both implementations across
+// the node sweep on RICC.
+func Fig10(params nanopowder.Params) ([]Fig10Point, error) {
+	sys := cluster.RICC()
+	var out []Fig10Point
+	var base1 time.Duration
+	for _, nodes := range Fig10Nodes() {
+		for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
+			res, err := nanopowder.Run(nanopowder.Config{
+				System: sys, Nodes: nodes, Impl: impl, Params: params,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 n=%d %v: %w", nodes, impl, err)
+			}
+			if nodes == 1 && impl == nanopowder.Baseline {
+				base1 = res.StepTime
+			}
+			out = append(out, Fig10Point{Nodes: nodes, Impl: impl, StepTime: res.StepTime})
+		}
+	}
+	for i := range out {
+		out[i].Speedup = base1.Seconds() / out[i].StepTime.Seconds()
+	}
+	return out, nil
+}
+
+// Fig10Table renders the points.
+func Fig10Table(points []Fig10Point) (headers []string, rows [][]string) {
+	headers = []string{"nodes", "baseline ms/step", "clMPI ms/step", "clMPI gain", "clMPI speedup"}
+	byNode := map[int]map[nanopowder.Impl]Fig10Point{}
+	var nodes []int
+	for _, pt := range points {
+		if byNode[pt.Nodes] == nil {
+			byNode[pt.Nodes] = map[nanopowder.Impl]Fig10Point{}
+			nodes = append(nodes, pt.Nodes)
+		}
+		byNode[pt.Nodes][pt.Impl] = pt
+	}
+	for _, n := range nodes {
+		m := byNode[n]
+		b, c := m[nanopowder.Baseline], m[nanopowder.CLMPI]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", b.StepTime.Seconds()*1e3),
+			fmt.Sprintf("%.1f", c.StepTime.Seconds()*1e3),
+			fmt.Sprintf("%.3f", b.StepTime.Seconds()/c.StepTime.Seconds()),
+			fmt.Sprintf("%.2f", c.Speedup),
+		})
+	}
+	return headers, rows
+}

@@ -1,0 +1,94 @@
+package cl
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Buffer is a device memory object (cl_mem). Its bytes live in host RAM of
+// the simulating process, but virtual-time charges model them as resident in
+// the GPU's memory: host access goes through the PCIe cost model.
+type Buffer struct {
+	ctx      *Context
+	label    string
+	data     []byte
+	mapped   bool
+	mapOff   int64
+	mapLen   int64
+	mapWrite bool
+	released bool
+	parent   *Buffer // non-nil for sub-buffers (see CreateSubBuffer)
+}
+
+// CreateBuffer allocates size bytes of device memory. It fails with
+// ErrOutOfResources when the device's memory capacity would be exceeded —
+// the constraint that motivates the paper's rejection of cross-node shared
+// contexts (§II).
+func (c *Context) CreateBuffer(label string, size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: buffer size %d", ErrInvalidValue, size)
+	}
+	d := c.Device
+	if d.allocated+size > d.GlobalMemSize() {
+		return nil, fmt.Errorf("%w: %d bytes requested, %d of %d in use",
+			ErrOutOfResources, size, d.allocated, d.GlobalMemSize())
+	}
+	d.allocated += size
+	return &Buffer{ctx: c, label: label, data: make([]byte, size)}, nil
+}
+
+// MustCreateBuffer is CreateBuffer that panics on error, for examples and
+// tests where allocation cannot fail.
+func (c *Context) MustCreateBuffer(label string, size int64) *Buffer {
+	b, err := c.CreateBuffer(label, size)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Size reports the buffer capacity in bytes.
+func (b *Buffer) Size() int64 { return int64(len(b.data)) }
+
+// Label reports the buffer's diagnostic name.
+func (b *Buffer) Label() string { return b.label }
+
+// Context returns the owning context.
+func (b *Buffer) Context() *Context { return b.ctx }
+
+// Release frees the device memory. Further use of the buffer fails with
+// ErrReleasedObject. Releasing twice is an error, as in OpenCL where the
+// reference count would go negative. Releasing a sub-buffer never affects
+// the parent's allocation.
+func (b *Buffer) Release() error {
+	if b.released {
+		return ErrReleasedObject
+	}
+	b.released = true
+	if b.parent == nil {
+		b.ctx.Device.allocated -= int64(len(b.data))
+	}
+	return nil
+}
+
+// Bytes exposes the raw device bytes for kernels and for the verification
+// paths of tests. Simulation code that is *modelling host access* must not
+// use it directly — that is what Read/Write/Map commands with their PCIe
+// charges are for.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// check validates the buffer and an access window.
+func (b *Buffer) check(offset, size int64) error {
+	if b == nil {
+		return ErrInvalidBuffer
+	}
+	if b.released {
+		return ErrReleasedObject
+	}
+	return rangeCheck(offset, size, int64(len(b.data)))
+}
+
+// node and device report the owning hardware.
+func (b *Buffer) node() *cluster.Node { return b.ctx.Device.Node }
+func (b *Buffer) device() *Device     { return b.ctx.Device }

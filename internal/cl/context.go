@@ -1,0 +1,76 @@
+package cl
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Device is a compute device: one of a node's GPUs. The paper's testbeds
+// have one Tesla per node (NewDevice), but §IV-A's multiple-communicator-
+// devices-per-process case is supported through NewDeviceForUnit on nodes
+// extended with cluster.Node.AddGPU.
+type Device struct {
+	eng  *sim.Engine
+	Node *cluster.Node
+	Unit *cluster.GPUUnit
+	name string
+
+	allocated int64 // device memory accounting
+}
+
+// NewDevice wraps a cluster node's first GPU as an OpenCL-style device.
+func NewDevice(e *sim.Engine, node *cluster.Node) *Device {
+	return NewDeviceForUnit(e, node, node.GPUs[0])
+}
+
+// NewDeviceForUnit wraps a specific GPU unit of the node.
+func NewDeviceForUnit(e *sim.Engine, node *cluster.Node, unit *cluster.GPUUnit) *Device {
+	return &Device{
+		eng: e, Node: node, Unit: unit,
+		name: fmt.Sprintf("dev%d.%d(%s)", node.Index, unit.Index, node.Sys.GPU.Model),
+	}
+}
+
+// HostToDevice charges a host→device copy on this device's PCIe slot.
+func (d *Device) HostToDevice(p *sim.Proc, n int64, kind cluster.HostMemKind) {
+	d.Node.HostToDeviceOn(d.Unit, p, n, kind)
+}
+
+// DeviceToHost charges a device→host copy on this device's PCIe slot.
+func (d *Device) DeviceToHost(p *sim.Proc, n int64, kind cluster.HostMemKind) {
+	d.Node.DeviceToHostOn(d.Unit, p, n, kind)
+}
+
+// Name reports a diagnostic device name.
+func (d *Device) Name() string { return d.name }
+
+// GlobalMemSize reports the device memory capacity in bytes.
+func (d *Device) GlobalMemSize() int64 { return d.Node.Sys.GPU.MemBytes }
+
+// AllocatedBytes reports currently allocated device memory.
+func (d *Device) AllocatedBytes() int64 { return d.allocated }
+
+// Context owns resources — buffers, queues, events — for one device, like a
+// cl_context. (Multi-device shared contexts, which §II of the paper argues
+// against for inter-node sharing, are intentionally unsupported.)
+type Context struct {
+	eng    *sim.Engine
+	Device *Device
+	label  string
+
+	queues   []*CommandQueue
+	released bool
+}
+
+// NewContext creates a context for the device.
+func NewContext(d *Device, label string) *Context {
+	return &Context{eng: d.eng, Device: d, label: label}
+}
+
+// Engine returns the simulation engine the context runs on.
+func (c *Context) Engine() *sim.Engine { return c.eng }
+
+// Label reports the context's diagnostic name.
+func (c *Context) Label() string { return c.label }

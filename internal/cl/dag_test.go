@@ -1,0 +1,121 @@
+package cl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestPropRandomDAGRespectsDependencies builds random command DAGs across a
+// random mix of in-order and out-of-order queues and checks the execution-
+// model invariants the clMPI paper relies on (§IV-B):
+//
+//  1. no command starts before every event in its wait list has finished;
+//  2. commands on one in-order queue start in enqueue order;
+//  3. every command eventually completes (no lost wakeups).
+func TestPropRandomDAGRespectsDependencies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		c := cluster.New(e, cluster.RICC(), 1)
+		ctx := NewContext(NewDevice(e, c.Nodes[0]), "dag")
+
+		nInOrder := rng.Intn(3) + 1
+		nOOO := rng.Intn(2)
+		var inQs []*CommandQueue
+		var oooQs []*OOQueue
+		for i := 0; i < nInOrder; i++ {
+			inQs = append(inQs, ctx.NewQueue(fmt.Sprintf("q%d", i)))
+		}
+		for i := 0; i < nOOO; i++ {
+			oooQs = append(oooQs, ctx.NewOutOfOrderQueue(fmt.Sprintf("o%d", i)))
+		}
+
+		nCmds := rng.Intn(24) + 4
+		type rec struct {
+			ev    *Event
+			waits []*Event
+			queue int // >= 0: in-order queue index; -1: OOO
+		}
+		var recs []*rec
+		ok := true
+		e.Spawn("host", func(p *sim.Proc) {
+			for i := 0; i < nCmds; i++ {
+				// Random wait list drawn from already-enqueued commands.
+				var waits []*Event
+				for _, r := range recs {
+					if rng.Intn(4) == 0 {
+						waits = append(waits, r.ev)
+					}
+				}
+				d := time.Duration(rng.Intn(500)) * time.Microsecond
+				run := func(wp *sim.Proc) error {
+					wp.Sleep(d)
+					return nil
+				}
+				var ev *Event
+				var err error
+				qi := -1
+				if len(oooQs) > 0 && rng.Intn(3) == 0 {
+					ev, err = oooQs[rng.Intn(len(oooQs))].Enqueue(fmt.Sprintf("c%d", i), waits, run)
+				} else {
+					qi = rng.Intn(len(inQs))
+					ev, err = inQs[qi].Enqueue(fmt.Sprintf("c%d", i), waits, run)
+				}
+				if err != nil {
+					ok = false
+					return
+				}
+				recs = append(recs, &rec{ev: ev, waits: waits, queue: qi})
+				if rng.Intn(3) == 0 {
+					p.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+			// Drain everything.
+			for _, q := range inQs {
+				if err := q.Finish(p); err != nil {
+					ok = false
+				}
+			}
+			for _, q := range oooQs {
+				if err := q.Finish(p); err != nil {
+					ok = false
+				}
+			}
+		})
+		if err := e.Run(); err != nil || !ok {
+			return false
+		}
+		// Invariant 1 and 3.
+		for _, r := range recs {
+			if r.ev.Status() != Complete {
+				return false
+			}
+			for _, w := range r.waits {
+				if r.ev.StartedAt < w.FinishedAt {
+					return false
+				}
+			}
+		}
+		// Invariant 2: per in-order queue, start times follow enqueue order.
+		last := map[int]sim.Time{}
+		for _, r := range recs {
+			if r.queue < 0 {
+				continue
+			}
+			if r.ev.StartedAt < last[r.queue] {
+				return false
+			}
+			last[r.queue] = r.ev.StartedAt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

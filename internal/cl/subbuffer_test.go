@@ -1,0 +1,107 @@
+package cl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestSubBufferAliasesParent(t *testing.T) {
+	_, ctx := testRig(t)
+	parent := ctx.MustCreateBuffer("parent", 1024)
+	sub, err := parent.CreateSubBuffer("window", 100, 50)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if sub.Size() != 50 || sub.Parent() != parent {
+		t.Fatalf("sub size=%d parent=%v", sub.Size(), sub.Parent())
+	}
+	sub.Bytes()[0] = 0xAA
+	if parent.Bytes()[100] != 0xAA {
+		t.Error("write through sub-buffer invisible in parent")
+	}
+	parent.Bytes()[149] = 0xBB
+	if sub.Bytes()[49] != 0xBB {
+		t.Error("write through parent invisible in sub-buffer")
+	}
+	// No extra device memory consumed.
+	if got := ctx.Device.AllocatedBytes(); got != 1024 {
+		t.Errorf("allocated = %d, want 1024", got)
+	}
+	if err := sub.Release(); err != nil {
+		t.Fatalf("release sub: %v", err)
+	}
+	if got := ctx.Device.AllocatedBytes(); got != 1024 {
+		t.Errorf("sub release changed allocation to %d", got)
+	}
+}
+
+func TestSubBufferValidation(t *testing.T) {
+	_, ctx := testRig(t)
+	parent := ctx.MustCreateBuffer("parent", 100)
+	if _, err := parent.CreateSubBuffer("bad", 90, 20); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("out of range: %v", err)
+	}
+	sub, _ := parent.CreateSubBuffer("ok", 0, 50)
+	if _, err := sub.CreateSubBuffer("nested", 0, 10); !errors.Is(err, ErrInvalidBuffer) {
+		t.Errorf("nested sub-buffer: %v", err)
+	}
+	parent.Release()
+	if _, err := parent.CreateSubBuffer("late", 0, 10); !errors.Is(err, ErrReleasedObject) {
+		t.Errorf("sub of released: %v", err)
+	}
+}
+
+func TestSubBufferWorksWithCommands(t *testing.T) {
+	e, ctx := testRig(t)
+	q := ctx.NewQueue("q")
+	parent := ctx.MustCreateBuffer("parent", 256)
+	sub, _ := parent.CreateSubBuffer("w", 64, 64)
+	host := bytes.Repeat([]byte{7}, 64)
+	run(t, e, func(p *sim.Proc) {
+		if _, err := q.EnqueueWriteBuffer(p, sub, true, 0, 64, host, cluster.Pinned, nil); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	})
+	if parent.Bytes()[64] != 7 || parent.Bytes()[127] != 7 || parent.Bytes()[63] != 0 || parent.Bytes()[128] != 0 {
+		t.Fatal("sub-buffer write landed in the wrong window")
+	}
+}
+
+func TestFillBuffer(t *testing.T) {
+	e, ctx := testRig(t)
+	q := ctx.NewQueue("q")
+	buf := ctx.MustCreateBuffer("b", 64)
+	run(t, e, func(p *sim.Proc) {
+		ev, err := q.EnqueueFillBuffer(buf, []byte{1, 2}, 8, 16, nil)
+		if err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+		if err := ev.Wait(p); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+	})
+	want := append(make([]byte, 8), bytes.Repeat([]byte{1, 2}, 8)...)
+	want = append(want, make([]byte, 40)...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fill result %v", buf.Bytes()[:32])
+	}
+}
+
+func TestFillBufferValidation(t *testing.T) {
+	_, ctx := testRig(t)
+	q := ctx.NewQueue("q")
+	buf := ctx.MustCreateBuffer("b", 64)
+	if _, err := q.EnqueueFillBuffer(buf, nil, 0, 8, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("empty pattern: %v", err)
+	}
+	if _, err := q.EnqueueFillBuffer(buf, []byte{1, 2, 3}, 0, 8, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("non-multiple size: %v", err)
+	}
+	if _, err := q.EnqueueFillBuffer(buf, []byte{1}, 60, 8, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("out of range: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package clmpi
+
+import (
+	"fmt"
+
+	"repro/internal/cl"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// GPU-aware MPI, the related-work approach of §II (cudaMPI, MPI-ACC,
+// MVAPICH2-GPU): MPI functions accept device buffers directly and use the
+// same optimized staging internally — but the communication is still
+// "managed by the host thread visible to application developers". There is
+// no event integration: to send a kernel's output the host must first wait
+// for the kernel, and nothing downstream can be gated on the transfer
+// except by blocking.
+//
+// These entry points exist so the paper's comparison can be run: the same
+// transfer machinery as the enqueued commands, minus the OpenCL execution
+// model. See BenchmarkGPUAwareVsCLMPI and the himeno GPUAware
+// implementation.
+
+// SendDeviceBuffer transfers a device buffer window to rank dest, blocking
+// the calling host process until the transport has accepted the data —
+// MPI_Send with a device pointer under a GPU-aware MPI.
+func (rt *Runtime) SendDeviceBuffer(p *sim.Proc, buf *cl.Buffer, offset, size int64, dest, tag int, comm *mpi.Comm) error {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return err
+	}
+	return rt.runSend(p, buf, offset, size, dest, tag, comm)
+}
+
+// RecvDeviceBuffer receives into a device buffer window from rank src,
+// blocking the calling host process until the data is resident in device
+// memory — MPI_Recv with a device pointer.
+func (rt *Runtime) RecvDeviceBuffer(p *sim.Proc, buf *cl.Buffer, offset, size int64, src, tag int, comm *mpi.Comm) error {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return err
+	}
+	return rt.runRecv(p, buf, offset, size, src, tag, comm)
+}
+
+// IsendDeviceBuffer is the nonblocking variant: the transfer progresses on
+// an internal helper (the model of the MPI library's progress engine) and
+// the request completes when the device buffer may be reused. Note what is
+// *not* possible: the operation cannot wait on an OpenCL event, so the
+// caller must have synchronized with any producing kernel before calling —
+// the §II limitation the clMPI commands remove.
+func (rt *Runtime) IsendDeviceBuffer(p *sim.Proc, buf *cl.Buffer, offset, size int64, dest, tag int, comm *mpi.Comm) (*mpi.Request, error) {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return nil, err
+	}
+	req, complete := mpi.NewUserRequest(rt.ep.World(), fmt.Sprintf("gpuaware isend %d->%d tag %d", rt.ep.Rank(), dest, tag))
+	p.Spawn(fmt.Sprintf("gpuaware.send.rank%d", rt.ep.Rank()), func(sp *sim.Proc) {
+		complete(mpi.Status{}, rt.runSend(sp, buf, offset, size, dest, tag, comm))
+	})
+	return req, nil
+}
+
+// IrecvDeviceBuffer is the nonblocking device receive.
+func (rt *Runtime) IrecvDeviceBuffer(p *sim.Proc, buf *cl.Buffer, offset, size int64, src, tag int, comm *mpi.Comm) (*mpi.Request, error) {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return nil, err
+	}
+	req, complete := mpi.NewUserRequest(rt.ep.World(), fmt.Sprintf("gpuaware irecv %d<-%d tag %d", rt.ep.Rank(), src, tag))
+	p.Spawn(fmt.Sprintf("gpuaware.recv.rank%d", rt.ep.Rank()), func(rp *sim.Proc) {
+		st := mpi.Status{Source: src, Tag: tag, Count: int(size)}
+		complete(st, rt.runRecv(rp, buf, offset, size, src, tag, comm))
+	})
+	return req, nil
+}

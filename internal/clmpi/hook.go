@@ -1,0 +1,58 @@
+package clmpi
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// The Fabric implements mpi.CLMemHook: when a host thread passes the CLMem
+// datatype to MPI_Isend/MPI_Irecv (§IV-C, Fig. 7), these methods run the
+// host side of the collaboration. The peer is a communicator device whose
+// EnqueueSendBuffer/EnqueueRecvBuffer follows the same deterministic chunk
+// plan, so the two sides agree on the wire protocol without negotiation.
+var _ mpi.CLMemHook = (*Fabric)(nil)
+
+// IsendCLMem sends a host buffer to a remote communicator device. The
+// returned request completes when the transport has accepted all chunks
+// (the host buffer is then reusable).
+func (f *Fabric) IsendCLMem(p *sim.Proc, ep *mpi.Endpoint, buf []byte, dest, tag int, comm *mpi.Comm) (*mpi.Request, error) {
+	pl := f.plan(int64(len(buf)), ep.Node().Sys)
+	req, complete := mpi.NewUserRequest(ep.World(), fmt.Sprintf("isend(CL_MEM) %d->%d tag %d", ep.Rank(), dest, tag))
+	p.Spawn(fmt.Sprintf("clmem.send.rank%d", ep.Rank()), func(sp *sim.Proc) {
+		var off int64
+		for _, c := range pl.chunks {
+			if err := ep.Send(sp, buf[off:off+c], dest, tag, mpi.Bytes, comm); err != nil {
+				complete(mpi.Status{}, err)
+				return
+			}
+			off += c
+		}
+		complete(mpi.Status{}, nil)
+	})
+	return req, nil
+}
+
+// IrecvCLMem receives into a host buffer from a remote communicator device.
+// The returned request completes when all chunks have been reassembled.
+func (f *Fabric) IrecvCLMem(p *sim.Proc, ep *mpi.Endpoint, buf []byte, src, tag int, comm *mpi.Comm) (*mpi.Request, error) {
+	pl := f.plan(int64(len(buf)), ep.Node().Sys)
+	req, complete := mpi.NewUserRequest(ep.World(), fmt.Sprintf("irecv(CL_MEM) %d<-%d tag %d", ep.Rank(), src, tag))
+	p.Spawn(fmt.Sprintf("clmem.recv.rank%d", ep.Rank()), func(rp *sim.Proc) {
+		var off int64
+		actualSrc := src
+		for _, c := range pl.chunks {
+			st, err := ep.Recv(rp, buf[off:off+c], actualSrc, tag, mpi.Bytes, comm)
+			if err != nil {
+				complete(mpi.Status{}, err)
+				return
+			}
+			// Lock a wildcard source to the first chunk's sender.
+			actualSrc = st.Source
+			off += c
+		}
+		complete(mpi.Status{Source: actualSrc, Tag: tag, Count: int(off)}, nil)
+	})
+	return req, nil
+}

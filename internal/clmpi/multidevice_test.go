@@ -1,0 +1,129 @@
+package clmpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestMultipleCommunicatorDevices reproduces §IV-A's multi-device case: one
+// MPI process drives two communicator devices, disambiguating their
+// transfers with unique tags, and the receiving rank routes each stream to
+// the right place.
+func TestMultipleCommunicatorDevices(t *testing.T) {
+	const size = 2 << 20
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, cluster.RICC(), 2)
+	clus.Nodes[0].AddGPU() // second accelerator on rank 0
+	world := mpi.NewWorld(clus)
+	fab := New(world, Options{})
+
+	got := map[int][]byte{}
+	world.LaunchRanks("multi", func(p *sim.Proc, ep *mpi.Endpoint) {
+		if ep.Rank() == 0 {
+			node := clus.Nodes[0]
+			var evs []*cl.Event
+			for devIdx, unit := range node.GPUs {
+				ctx := cl.NewContext(cl.NewDeviceForUnit(eng, node, unit), fmt.Sprintf("ctx0.%d", devIdx))
+				rt := fab.Attach(ctx, ep)
+				q := ctx.NewQueue(fmt.Sprintf("q0.%d", devIdx))
+				buf := ctx.MustCreateBuffer("b", size)
+				copy(buf.Bytes(), pattern(size, byte(devIdx+1)))
+				// §IV-A: "If one MPI process needs to use multiple
+				// communicator devices, a unique tag is given to each
+				// device."
+				ev, err := rt.EnqueueSendBuffer(p, q, buf, false, 0, size, 1, devIdx, world.Comm(), nil)
+				if err != nil {
+					t.Errorf("send dev%d: %v", devIdx, err)
+					return
+				}
+				evs = append(evs, ev)
+			}
+			if err := cl.WaitForEvents(p, evs...); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			return
+		}
+		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), "ctx1")
+		rt := fab.Attach(ctx, ep)
+		q := ctx.NewQueue("q1")
+		for tag := 0; tag < 2; tag++ {
+			buf := ctx.MustCreateBuffer(fmt.Sprintf("in%d", tag), size)
+			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, tag, world.Comm(), nil); err != nil {
+				t.Errorf("recv tag%d: %v", tag, err)
+				return
+			}
+			got[tag] = append([]byte(nil), buf.Bytes()...)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for tag := 0; tag < 2; tag++ {
+		if !bytes.Equal(got[tag], pattern(size, byte(tag+1))) {
+			t.Fatalf("tag %d stream routed to the wrong device buffer", tag)
+		}
+	}
+}
+
+// TestTwoGPUsComputeConcurrently: separate units have separate compute
+// resources, unlike two queues on one device.
+func TestTwoGPUsComputeConcurrently(t *testing.T) {
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, cluster.RICC(), 1)
+	clus.Nodes[0].AddGPU()
+	k := &cl.Kernel{Name: "busy", Cost: func([]any) time.Duration { return 10 * time.Millisecond }}
+	eng.Spawn("host", func(p *sim.Proc) {
+		var evs []*cl.Event
+		for _, unit := range clus.Nodes[0].GPUs {
+			ctx := cl.NewContext(cl.NewDeviceForUnit(eng, clus.Nodes[0], unit), "c")
+			q := ctx.NewQueue(fmt.Sprintf("q%d", unit.Index))
+			ev, err := q.EnqueueNDRangeKernel(k, nil, nil)
+			if err != nil {
+				t.Errorf("enqueue: %v", err)
+				return
+			}
+			evs = append(evs, ev)
+		}
+		if err := cl.WaitForEvents(p, evs...); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		launch := clus.Sys.GPU.KernelLaunch
+		if p.Now() != sim.Time(10*time.Millisecond+launch) {
+			t.Errorf("two GPUs serialized: done at %v", p.Now())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameGPUTwoDevicesShareCompute: by contrast, two logical devices on
+// the SAME unit serialize.
+func TestSameGPUTwoDevicesShareCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, cluster.RICC(), 1)
+	k := &cl.Kernel{Name: "busy", Cost: func([]any) time.Duration { return 10 * time.Millisecond }}
+	eng.Spawn("host", func(p *sim.Proc) {
+		var evs []*cl.Event
+		for i := 0; i < 2; i++ {
+			ctx := cl.NewContext(cl.NewDevice(eng, clus.Nodes[0]), "c")
+			q := ctx.NewQueue(fmt.Sprintf("q%d", i))
+			ev, _ := q.EnqueueNDRangeKernel(k, nil, nil)
+			evs = append(evs, ev)
+		}
+		cl.WaitForEvents(p, evs...)
+		if p.Now() < sim.Time(20*time.Millisecond) {
+			t.Errorf("one GPU ran two kernels concurrently: %v", p.Now())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package clmpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestPropTransfersByteExact: for random strategies, sizes, offsets, block
+// sizes and ring depths, EnqueueSendBuffer → EnqueueRecvBuffer delivers
+// byte-identical payloads into the requested window and touches nothing
+// outside it.
+func TestPropTransfersByteExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := []Strategy{Pinned, Mapped, Pipelined, Auto}[rng.Intn(4)]
+		size := int64(rng.Intn(4<<20) + 1)
+		sendOff := int64(rng.Intn(512))
+		recvOff := int64(rng.Intn(512))
+		opts := Options{
+			Strategy:      st,
+			PipelineBlock: int64(rng.Intn(2<<20) + 1024),
+			RingBuffers:   rng.Intn(4) + 1,
+		}
+		r := newRig(t, cluster.RICC(), 2, opts)
+		payload := make([]byte, size)
+		rng.Read(payload)
+		var got, guardLo, guardHi []byte
+		r.run(t, func(p *sim.Proc, rank int) {
+			q := r.ctxs[rank].NewQueue("q")
+			buf := r.ctxs[rank].MustCreateBuffer("b", size+1024)
+			if rank == 0 {
+				copy(buf.Bytes()[sendOff:], payload)
+				if _, err := r.rts[0].EnqueueSendBuffer(p, q, buf, true, sendOff, size, 1, 0, r.w.Comm(), nil); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			} else {
+				for i := range buf.Bytes() {
+					buf.Bytes()[i] = 0xEE
+				}
+				if _, err := r.rts[1].EnqueueRecvBuffer(p, q, buf, true, recvOff, size, 0, 0, r.w.Comm(), nil); err != nil {
+					t.Errorf("recv: %v", err)
+				}
+				got = append([]byte(nil), buf.Bytes()[recvOff:recvOff+size]...)
+				guardLo = append([]byte(nil), buf.Bytes()[:recvOff]...)
+				guardHi = append([]byte(nil), buf.Bytes()[recvOff+size:]...)
+			}
+		})
+		if !bytes.Equal(got, payload) {
+			return false
+		}
+		for _, g := range append(guardLo, guardHi...) {
+			if g != 0xEE {
+				return false // wrote outside the window
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPipelinedNeverSlowerThanSerialSum: the pipelined time for any size
+// and block is bounded below by each hop alone and above by the serial sum
+// of both hops plus overheads — i.e., overlap never produces impossible
+// speedups and never loses to full serialization.
+func TestPropPipelinedNeverSlowerThanSerialSum(t *testing.T) {
+	f := func(sizeKB uint16, blockKB uint16) bool {
+		size := int64(sizeKB%8192+64) * 1024
+		block := int64(blockKB%2048+64) * 1024
+		sys := cluster.RICC()
+		r := newRig(t, sys, 2, Options{Strategy: Pipelined, PipelineBlock: block})
+		var elapsed float64
+		r.run(t, func(p *sim.Proc, rank int) {
+			q := r.ctxs[rank].NewQueue("q")
+			buf := r.ctxs[rank].MustCreateBuffer("b", size)
+			if rank == 0 {
+				start := p.Now()
+				r.rts[0].EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, r.w.Comm(), nil)
+				elapsed = p.Now().Sub(start).Seconds()
+			} else {
+				r.rts[1].EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, r.w.Comm(), nil)
+			}
+		})
+		wire := float64(size) / sys.NIC.BW
+		pcie := float64(size) / sys.GPU.PinnedBW
+		if elapsed < wire || elapsed < pcie {
+			return false // faster than the slowest hop: impossible
+		}
+		nblocks := float64((size + block - 1) / block)
+		perBlock := 2*sys.GPU.DMALatency.Seconds() + 2*sys.NIC.MsgOverhead.Seconds() + sys.NIC.WireLatency.Seconds() + 1e-4
+		serial := wire + 2*pcie + nblocks*perBlock
+		return elapsed <= serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package clmpi
+
+import (
+	"fmt"
+
+	"repro/internal/cl"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Fabric is the job-wide state of the extension: shared options and the
+// CLMem hook registration. Create one per mpi.World, then Attach each rank's
+// OpenCL context.
+type Fabric struct {
+	world *mpi.World
+	opts  Options
+	rts   map[int]*Runtime
+}
+
+// New creates the extension fabric for a world and registers its MPI_CL_MEM
+// handler. All ranks share the options (see Options). Negative option values
+// panic with ErrBadBlock: they are configuration bugs, not runtime
+// conditions.
+func New(w *mpi.World, opts Options) *Fabric {
+	if opts.PipelineBlock < 0 || opts.SmallCutoff < 0 || opts.RingBuffers < 0 {
+		panic(ErrBadBlock)
+	}
+	f := &Fabric{world: w, opts: opts.withDefaults(), rts: make(map[int]*Runtime)}
+	w.RegisterCLMemHook(f)
+	return f
+}
+
+// Runtime returns the runtime attached for the given rank, or ErrNilRuntime
+// if the rank has not called Attach.
+func (f *Fabric) Runtime(rank int) (*Runtime, error) {
+	rt, ok := f.rts[rank]
+	if !ok {
+		return nil, ErrNilRuntime
+	}
+	return rt, nil
+}
+
+// Options reports the fabric's effective options.
+func (f *Fabric) Options() Options { return f.opts }
+
+// Runtime is one rank's handle on the extension, binding its OpenCL context
+// to its MPI endpoint. In the paper's implementation this is the state of
+// the runtime thread spawned behind the proprietary OpenCL library (§V-A);
+// here the transfer work runs on command-queue workers and short-lived
+// helper processes, which is the same scheduling structure.
+type Runtime struct {
+	fab *Fabric
+	ctx *cl.Context
+	ep  *mpi.Endpoint
+}
+
+// Attach binds a context and endpoint, returning the rank's runtime.
+func (f *Fabric) Attach(ctx *cl.Context, ep *mpi.Endpoint) *Runtime {
+	rt := &Runtime{fab: f, ctx: ctx, ep: ep}
+	f.rts[ep.Rank()] = rt
+	return rt
+}
+
+// Context returns the attached OpenCL context.
+func (rt *Runtime) Context() *cl.Context { return rt.ctx }
+
+// Endpoint returns the attached MPI endpoint.
+func (rt *Runtime) Endpoint() *mpi.Endpoint { return rt.ep }
+
+// EnqueueSendBuffer enqueues a command that sends size bytes of buf,
+// starting at offset, to rank dest with the given tag — the paper's
+// clEnqueueSendBuffer (§IV-A). The command executes like any other OpenCL
+// command: it starts once the wait list completes and its event completes
+// when the remote transfer has been handed to the network. With blocking
+// true the call also waits for that event.
+//
+// The receiving rank must post a matching EnqueueRecvBuffer (device
+// destination) or MPI_Irecv with the CLMem datatype (host destination) of
+// the same size, tag and communicator.
+func (rt *Runtime) EnqueueSendBuffer(p *sim.Proc, q *cl.CommandQueue, buf *cl.Buffer, blocking bool, offset, size int64, dest, tag int, comm *mpi.Comm, waits []*cl.Event) (*cl.Event, error) {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return nil, err
+	}
+	label := fmt.Sprintf("clmpi.send %s[%d:%d]->rank%d tag%d", buf.Label(), offset, offset+size, dest, tag)
+	ev, err := q.Enqueue(label, waits, func(wp *sim.Proc) error {
+		return rt.runSend(wp, buf, offset, size, dest, tag, comm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if blocking {
+		if werr := ev.Wait(p); werr != nil {
+			return ev, werr
+		}
+	}
+	return ev, nil
+}
+
+// EnqueueRecvBuffer enqueues a command that receives size bytes into buf at
+// offset from rank src with the given tag — the paper's clEnqueueRecvBuffer
+// (§IV-A, Fig. 5). Completion of its event means the data is resident in
+// device memory.
+func (rt *Runtime) EnqueueRecvBuffer(p *sim.Proc, q *cl.CommandQueue, buf *cl.Buffer, blocking bool, offset, size int64, src, tag int, comm *mpi.Comm, waits []*cl.Event) (*cl.Event, error) {
+	if err := checkWindow(buf, offset, size); err != nil {
+		return nil, err
+	}
+	label := fmt.Sprintf("clmpi.recv %s[%d:%d]<-rank%d tag%d", buf.Label(), offset, offset+size, src, tag)
+	ev, err := q.Enqueue(label, waits, func(wp *sim.Proc) error {
+		return rt.runRecv(wp, buf, offset, size, src, tag, comm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if blocking {
+		if werr := ev.Wait(p); werr != nil {
+			return ev, werr
+		}
+	}
+	return ev, nil
+}
+
+// CreateEventFromMPIRequest returns an OpenCL event that completes when the
+// MPI request does — clCreateEventFromMPIRequest (§IV-C, Fig. 7). The event
+// may appear in any command's wait list, serializing device work after host
+// MPI without blocking the host thread.
+func (rt *Runtime) CreateEventFromMPIRequest(req *mpi.Request) *cl.Event {
+	return rt.ctx.NewEventFromTrigger("mpi:"+req.Label(), req.Done())
+}
+
+// checkWindow validates an (offset,size) range against the buffer.
+func checkWindow(buf *cl.Buffer, offset, size int64) error {
+	if buf == nil {
+		return cl.ErrInvalidBuffer
+	}
+	if offset < 0 || size < 0 || offset+size > buf.Size() {
+		return fmt.Errorf("%w: range [%d,%d) outside buffer of %d bytes",
+			cl.ErrInvalidValue, offset, offset+size, buf.Size())
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package clmpi
+
+import (
+	"fmt"
+
+	"repro/internal/cl"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// chunkWindow is one pipeline block within the transferred range.
+type chunkWindow struct {
+	off int64 // absolute offset within the device buffer
+	n   int64
+}
+
+// windows lays the plan's chunks over the buffer range.
+func (pl *transferPlan) windows(offset int64) []chunkWindow {
+	out := make([]chunkWindow, 0, len(pl.chunks))
+	off := offset
+	for _, c := range pl.chunks {
+		out = append(out, chunkWindow{off: off, n: c})
+		off += c
+	}
+	return out
+}
+
+// runSend executes a device→remote transfer on the queue worker process wp.
+// It returns once the final byte has been accepted by the transport, i.e.
+// when the device buffer may be reused.
+func (rt *Runtime) runSend(wp *sim.Proc, buf *cl.Buffer, offset, size int64, dest, tag int, comm *mpi.Comm) error {
+	node := rt.ep.Node()
+	g := node.Sys.GPU
+	pl := rt.fab.plan(size, node.Sys)
+	data := buf.Bytes()
+	switch pl.strategy {
+	case Pinned:
+		// One-shot staging through a freshly registered pinned buffer:
+		// pay the registration, copy D2H at full PCIe rate, send.
+		wp.Sleep(g.PinSetup)
+		rt.ctx.Device.DeviceToHost(wp, size, cluster.Pinned)
+		return rt.ep.Send(wp, data[offset:offset+size], dest, tag, wireDatatype, comm)
+	case Mapped:
+		// Map the region (the driver copies it to host at the mapped
+		// rate), send from the mapped view, unmap. No write-back: the
+		// map is read-only.
+		wp.Sleep(g.MapSetup)
+		rt.ctx.Device.DeviceToHost(wp, size, cluster.Mapped)
+		err := rt.ep.Send(wp, data[offset:offset+size], dest, tag, wireDatatype, comm)
+		wp.Sleep(g.MapSetup)
+		return err
+	case Pipelined:
+		// Stage blocks through the preallocated pinned ring: a helper
+		// process pulls blocks over PCIe while this process feeds the
+		// network, so the two hops overlap (§III, "pipelined").
+		eng := wp.Engine()
+		ring := sim.NewSemaphore(eng, "clmpi.sendring", rt.fab.opts.RingBuffers)
+		staged := sim.NewQueue[chunkWindow](eng, "clmpi.staged")
+		wins := pl.windows(offset)
+		eng.SpawnDaemon(fmt.Sprintf("clmpi.d2h.rank%d", rt.ep.Rank()), func(rp *sim.Proc) {
+			for _, w := range wins {
+				ring.Acquire(rp, 1)
+				rt.ctx.Device.DeviceToHost(rp, w.n, cluster.Pinned)
+				staged.Put(w)
+			}
+		})
+		for range wins {
+			w, _ := staged.Get(wp)
+			if err := rt.ep.Send(wp, data[w.off:w.off+w.n], dest, tag, wireDatatype, comm); err != nil {
+				return err
+			}
+			ring.Release(wp, 1)
+		}
+		return nil
+	default:
+		return fmt.Errorf("clmpi: unresolved strategy %v", pl.strategy)
+	}
+}
+
+// runRecv executes a remote→device transfer on the queue worker process wp.
+// It returns once the data is resident in device memory.
+func (rt *Runtime) runRecv(wp *sim.Proc, buf *cl.Buffer, offset, size int64, src, tag int, comm *mpi.Comm) error {
+	node := rt.ep.Node()
+	g := node.Sys.GPU
+	pl := rt.fab.plan(size, node.Sys)
+	data := buf.Bytes()
+	switch pl.strategy {
+	case Pinned:
+		wp.Sleep(g.PinSetup)
+		if _, err := rt.ep.Recv(wp, data[offset:offset+size], src, tag, wireDatatype, comm); err != nil {
+			return err
+		}
+		rt.ctx.Device.HostToDevice(wp, size, cluster.Pinned)
+		return nil
+	case Mapped:
+		// Map for write with invalidation (the incoming data overwrites
+		// the whole range, so no device→host read is needed), receive
+		// into the mapped view, unmap with write-back at the mapped
+		// rate.
+		wp.Sleep(g.MapSetup)
+		if _, err := rt.ep.Recv(wp, data[offset:offset+size], src, tag, wireDatatype, comm); err != nil {
+			return err
+		}
+		wp.Sleep(g.MapSetup)
+		rt.ctx.Device.HostToDevice(wp, size, cluster.Mapped)
+		return nil
+	case Pipelined:
+		// Receive blocks into the pinned ring while a helper process
+		// drains them to the device, overlapping network and PCIe.
+		eng := wp.Engine()
+		ring := sim.NewSemaphore(eng, "clmpi.recvring", rt.fab.opts.RingBuffers)
+		arrived := sim.NewQueue[chunkWindow](eng, "clmpi.arrived")
+		done := sim.NewWaitGroup(eng, "clmpi.h2d")
+		wins := pl.windows(offset)
+		done.Add(len(wins))
+		eng.SpawnDaemon(fmt.Sprintf("clmpi.h2d.rank%d", rt.ep.Rank()), func(hp *sim.Proc) {
+			for range wins {
+				w, _ := arrived.Get(hp)
+				rt.ctx.Device.HostToDevice(hp, w.n, cluster.Pinned)
+				ring.Release(hp, 1)
+				done.Done()
+			}
+		})
+		actualSrc := src
+		for _, w := range wins {
+			ring.Acquire(wp, 1)
+			st, err := rt.ep.Recv(wp, data[w.off:w.off+w.n], actualSrc, tag, wireDatatype, comm)
+			if err != nil {
+				return err
+			}
+			// A wildcard source locks to the first chunk's sender so
+			// interleaved transfers from different ranks cannot mix.
+			actualSrc = st.Source
+			arrived.Put(w)
+		}
+		done.Wait(wp)
+		return nil
+	default:
+		return fmt.Errorf("clmpi: unresolved strategy %v", pl.strategy)
+	}
+}

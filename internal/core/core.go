@@ -1,0 +1,39 @@
+// Package core re-exports the clMPI extension — the paper's primary
+// contribution — under the repository's canonical layout. The implementation
+// lives in internal/clmpi; see that package for the full documentation.
+package core
+
+import (
+	"repro/internal/clmpi"
+)
+
+// Aliases to the extension's public API.
+type (
+	// Fabric is the job-wide extension state; see clmpi.Fabric.
+	Fabric = clmpi.Fabric
+	// Runtime is one rank's extension handle; see clmpi.Runtime.
+	Runtime = clmpi.Runtime
+	// Options configure the fabric; see clmpi.Options.
+	Options = clmpi.Options
+	// Strategy names a transfer implementation; see clmpi.Strategy.
+	Strategy = clmpi.Strategy
+	// CutoffEntry is one row of a tuned selection table; see clmpi.Tune.
+	CutoffEntry = clmpi.CutoffEntry
+)
+
+// Strategy values.
+const (
+	Auto      = clmpi.Auto
+	Pinned    = clmpi.Pinned
+	Mapped    = clmpi.Mapped
+	Pipelined = clmpi.Pipelined
+)
+
+// New creates the extension fabric; see clmpi.New.
+var New = clmpi.New
+
+// ParseStrategy converts a strategy name; see clmpi.ParseStrategy.
+var ParseStrategy = clmpi.ParseStrategy
+
+// Tune calibrates strategy selection for a system; see clmpi.Tune.
+var Tune = clmpi.Tune

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestAliasSurface exercises the re-exported API end to end: the aliases
+// must be usable exactly like the originals.
+func TestAliasSurface(t *testing.T) {
+	if got, err := ParseStrategy("pipelined"); err != nil || got != Pipelined {
+		t.Fatalf("ParseStrategy = %v, %v", got, err)
+	}
+	for _, s := range []Strategy{Auto, Pinned, Mapped, Pipelined} {
+		if s.String() == "" {
+			t.Fatalf("strategy %d has no name", s)
+		}
+	}
+
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, cluster.RICC(), 2)
+	world := mpi.NewWorld(clus)
+	var fab *Fabric = New(world, Options{Strategy: Pipelined})
+	const size = 1 << 20
+	payload := byte(0x5C)
+	var got byte
+	world.LaunchRanks("core", func(p *sim.Proc, ep *mpi.Endpoint) {
+		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("c%d", ep.Rank()))
+		var rt *Runtime = fab.Attach(ctx, ep)
+		q := ctx.NewQueue("q")
+		buf := ctx.MustCreateBuffer("b", size)
+		if ep.Rank() == 0 {
+			buf.Bytes()[size-1] = payload
+			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, world.Comm(), nil); err != nil {
+				t.Errorf("recv: %v", err)
+			}
+			got = buf.Bytes()[size-1]
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != payload {
+		t.Fatalf("payload = %#x", got)
+	}
+}

@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			e, w := rig(t, cluster.RICC(), n)
+			const sz = 16
+			results := make([][]byte, n)
+			w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+				contrib := bytes.Repeat([]byte{byte(ep.Rank() + 1)}, sz)
+				out := make([]byte, sz*n)
+				if err := ep.Allgather(p, contrib, out, w.Comm()); err != nil {
+					t.Errorf("rank %d: %v", ep.Rank(), err)
+				}
+				results[ep.Rank()] = out
+			})
+			mustRun(t, e)
+			for r := 0; r < n; r++ {
+				for blk := 0; blk < n; blk++ {
+					for i := 0; i < sz; i++ {
+						if results[r][blk*sz+i] != byte(blk+1) {
+							t.Fatalf("rank %d block %d corrupted", r, blk)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherTruncation(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() != 0 {
+			return
+		}
+		err := ep.Allgather(p, make([]byte, 8), make([]byte, 8), w.Comm())
+		if err == nil {
+			t.Error("short allgather buffer accepted")
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			e, w := rig(t, cluster.RICC(), n)
+			const bs = 4
+			results := make([][]byte, n)
+			w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+				me := ep.Rank()
+				in := make([]byte, bs*n)
+				for blk := 0; blk < n; blk++ {
+					for i := 0; i < bs; i++ {
+						in[blk*bs+i] = byte(10*me + blk) // (sender, destination)
+					}
+				}
+				out := make([]byte, bs*n)
+				if err := ep.Alltoall(p, in, out, bs, w.Comm()); err != nil {
+					t.Errorf("rank %d: %v", me, err)
+				}
+				results[me] = out
+			})
+			mustRun(t, e)
+			for r := 0; r < n; r++ {
+				for blk := 0; blk < n; blk++ {
+					want := byte(10*blk + r) // block from sender blk addressed to r
+					if results[r][blk*bs] != want {
+						t.Fatalf("rank %d block %d = %d, want %d", r, blk, results[r][blk*bs], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() != 0 {
+			return
+		}
+		if err := ep.Alltoall(p, make([]byte, 8), make([]byte, 8), 0, w.Comm()); err == nil {
+			t.Error("zero block size accepted")
+		}
+		if err := ep.Alltoall(p, make([]byte, 4), make([]byte, 8), 4, w.Comm()); err == nil {
+			t.Error("short input accepted")
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestReduceSumVec(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8} {
+		for _, root := range []int{0, n - 1} {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d/root=%d", n, root), func(t *testing.T) {
+				e, w := rig(t, cluster.RICC(), n)
+				const dim = 5
+				var got []float64
+				w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+					vec := make([]float64, dim)
+					for i := range vec {
+						vec[i] = float64((ep.Rank() + 1) * (i + 1))
+					}
+					res, err := ep.ReduceSumVec(p, vec, root, w.Comm())
+					if err != nil {
+						t.Errorf("rank %d: %v", ep.Rank(), err)
+					}
+					if ep.Rank() == root {
+						got = res
+					} else if res != nil {
+						t.Errorf("non-root rank %d received a result", ep.Rank())
+					}
+				})
+				mustRun(t, e)
+				tri := float64(n * (n + 1) / 2)
+				for i := 0; i < dim; i++ {
+					want := tri * float64(i+1)
+					if got[i] != want {
+						t.Fatalf("element %d = %v, want %v", i, got[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPropAllgatherRandomPayloads: random contributions of random equal
+// sizes land intact in every slot on every rank.
+func TestPropAllgatherRandomPayloads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		sz := rng.Intn(2048) + 1
+		contribs := make([][]byte, n)
+		for r := range contribs {
+			contribs[r] = make([]byte, sz)
+			rng.Read(contribs[r])
+		}
+		e := sim.NewEngine()
+		w := NewWorld(cluster.New(e, cluster.RICC(), n))
+		ok := true
+		w.LaunchRanks("p", func(p *sim.Proc, ep *Endpoint) {
+			out := make([]byte, sz*n)
+			if err := ep.Allgather(p, contribs[ep.Rank()], out, w.Comm()); err != nil {
+				ok = false
+				return
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(out[r*sz:(r+1)*sz], contribs[r]) {
+					ok = false
+				}
+			}
+		})
+		return e.Run() == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Non-blocking collectives, the MPI-3.0 feature the paper's §VI names as
+// future work: "some synchronization mechanisms between the non-blocking
+// collective communications and OpenCL commands might be required... it
+// will be effective to further extend OpenCL to use its event management
+// mechanism for the synchronization." The returned Requests plug into
+// clmpi.Runtime.CreateEventFromMPIRequest, completing that loop.
+//
+// Each operation runs its blocking algorithm on a helper process — the
+// model of an MPI library progressing collectives on an internal thread —
+// and completes the request when the algorithm finishes. Every rank of the
+// communicator must call the same operation; like their blocking
+// counterparts, nonblocking collectives on one communicator must be issued
+// in the same order on every rank.
+
+// Ibarrier starts a non-blocking barrier; the request completes once every
+// rank has entered.
+func (ep *Endpoint) Ibarrier(p *sim.Proc, comm *Comm) *Request {
+	req, complete := NewUserRequest(ep.world, fmt.Sprintf("ibarrier rank%d", ep.rank))
+	p.Spawn(fmt.Sprintf("ibarrier.rank%d", ep.rank), func(hp *sim.Proc) {
+		complete(Status{}, ep.Barrier(hp, comm))
+	})
+	return req
+}
+
+// Ibcast starts a non-blocking broadcast of buf from root. The buffer must
+// not be touched until the request completes.
+func (ep *Endpoint) Ibcast(p *sim.Proc, buf []byte, root int, comm *Comm) *Request {
+	req, complete := NewUserRequest(ep.world, fmt.Sprintf("ibcast rank%d root%d", ep.rank, root))
+	p.Spawn(fmt.Sprintf("ibcast.rank%d", ep.rank), func(hp *sim.Proc) {
+		err := ep.Bcast(hp, buf, root, comm)
+		st := Status{Source: root, Count: len(buf)}
+		complete(st, err)
+	})
+	return req
+}
+
+// Iallreduce starts a non-blocking global sum of x; the request's payload
+// is retrieved with the returned fetch function after completion.
+func (ep *Endpoint) Iallreduce(p *sim.Proc, x float64, comm *Comm) (*Request, func() float64) {
+	req, complete := NewUserRequest(ep.world, fmt.Sprintf("iallreduce rank%d", ep.rank))
+	var result float64
+	p.Spawn(fmt.Sprintf("iallreduce.rank%d", ep.rank), func(hp *sim.Proc) {
+		sum, err := ep.AllreduceSum(hp, x, comm)
+		result = sum
+		complete(Status{}, err)
+	})
+	return req, func() float64 { return result }
+}
+
+// Igather starts a non-blocking gather (equal counts) into out on root.
+func (ep *Endpoint) Igather(p *sim.Proc, contrib, out []byte, root int, comm *Comm) *Request {
+	req, complete := NewUserRequest(ep.world, fmt.Sprintf("igather rank%d root%d", ep.rank, root))
+	p.Spawn(fmt.Sprintf("igather.rank%d", ep.rank), func(hp *sim.Proc) {
+		complete(Status{}, ep.Gather(hp, contrib, out, root, comm))
+	})
+	return req
+}

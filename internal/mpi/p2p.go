@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// localOverhead is the software cost of a self-message (shared-memory copy
+// path inside one node).
+const localOverhead = time.Microsecond
+
+// Datatype tags the memory class of a transfer. Payloads are always raw
+// bytes; the datatype only selects the transfer machinery, which is exactly
+// how the paper employs MPI_CL_MEM (§IV-C).
+type Datatype int
+
+const (
+	// Bytes is ordinary host memory.
+	Bytes Datatype = iota
+	// CLMem marks the peer buffer as device-resident: the transfer is
+	// delegated to the registered CLMemHook (the clMPI runtime), which
+	// collaborates with the sender for efficient host↔device staging.
+	CLMem
+)
+
+// message is a posted send awaiting (or matched to) a receive.
+type message struct {
+	src, dst, tag int
+	seq           uint64
+	size          int
+	eager         bool
+	payload       []byte       // eager: captured copy; rendezvous: nil
+	sendBuf       []byte       // rendezvous: the live send buffer
+	arrived       *sim.Trigger // data available at the receiver (eager/local)
+	req           *Request
+}
+
+// recvOp is a posted receive awaiting a message.
+type recvOp struct {
+	owner    int // the rank that posted the receive
+	src, tag int // may be AnySource / AnyTag
+	seq      uint64
+	buf      []byte
+	req      *Request
+}
+
+// Isend starts a nonblocking send of buf to rank dest with the given tag,
+// like MPI_Isend. With dtype CLMem the registered hook takes over.
+//
+// Eager messages (≤ EagerThreshold) capture the payload immediately: the
+// request completes once the NIC has accepted the data, regardless of the
+// receiver. Larger messages use rendezvous: the request completes only after
+// the matching receive is posted and the wire transfer has finished.
+func (ep *Endpoint) Isend(p *sim.Proc, buf []byte, dest, tag int, dtype Datatype, comm *Comm) (*Request, error) {
+	if err := ep.checkArgs(dest, tag); err != nil {
+		return nil, err
+	}
+	if dtype == CLMem {
+		if ep.world.hook == nil {
+			return nil, ErrNoCLMemHook
+		}
+		return ep.world.hook.IsendCLMem(p, ep, buf, dest, tag, comm)
+	}
+	return ep.postSend(buf, dest, tag, comm), nil
+}
+
+// postSend is the transport-level send, shared by user sends and internal
+// collective traffic (which uses negative tags).
+func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
+	w := ep.world
+	w.seq++
+	msg := &message{
+		src: ep.rank, dst: dest, tag: tag, seq: w.seq,
+		size: len(buf),
+		req:  newRequest(w.eng, fmt.Sprintf("isend %d->%d tag %d", ep.rank, dest, tag)),
+	}
+	switch {
+	case dest == ep.rank:
+		// Self-message: a shared-memory copy, no NIC involved.
+		msg.eager = true
+		msg.payload = append([]byte(nil), buf...)
+		msg.arrived = sim.NewTrigger(w.eng, "self-msg")
+		d := localOverhead + secondsToDur(float64(len(buf))/ep.Node().Sys.CPU.MemBW)
+		msg.arrived.FireAfter(d, nil)
+		msg.req.completeAfter(d, Status{}, nil)
+	case len(buf) <= EagerThreshold:
+		msg.eager = true
+		msg.payload = append([]byte(nil), buf...)
+		msg.arrived = sim.NewTrigger(w.eng, "eager-msg")
+		w.eng.Spawn(fmt.Sprintf("eager %d->%d", ep.rank, dest), func(tp *sim.Proc) {
+			ep.wireTransfer(tp, dest, int64(msg.size))
+			// The NIC has the data: the sender's buffer is free.
+			msg.req.complete(Status{}, nil)
+			msg.arrived.FireAfter(w.clus.Sys.NIC.WireLatency, nil)
+		})
+	default:
+		msg.sendBuf = buf // rendezvous: transfer happens at match time
+	}
+	comm.pendingMsgs = append(comm.pendingMsgs, msg)
+	comm.notifyProbers(msg)
+	comm.matchNewMessage(msg)
+	return msg.req
+}
+
+// Irecv starts a nonblocking receive into buf from rank src (or AnySource)
+// with the given tag (or AnyTag), like MPI_Irecv. With dtype CLMem the
+// registered hook takes over.
+func (ep *Endpoint) Irecv(p *sim.Proc, buf []byte, src, tag int, dtype Datatype, comm *Comm) (*Request, error) {
+	if src != AnySource {
+		if src < 0 || src >= ep.world.size {
+			return nil, fmt.Errorf("%w: source %d", ErrRankRange, src)
+		}
+	}
+	if tag != AnyTag && tag < 0 {
+		return nil, fmt.Errorf("%w: tag %d", ErrTagNegative, tag)
+	}
+	if dtype == CLMem {
+		if ep.world.hook == nil {
+			return nil, ErrNoCLMemHook
+		}
+		return ep.world.hook.IrecvCLMem(p, ep, buf, src, tag, comm)
+	}
+	return ep.postRecv(buf, src, tag, comm), nil
+}
+
+// postRecv is the transport-level receive, shared by user receives and
+// internal collective traffic.
+func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
+	w := ep.world
+	w.seq++
+	rop := &recvOp{
+		owner: ep.rank,
+		src:   src, tag: tag, seq: w.seq, buf: buf,
+		req: newRequest(w.eng, fmt.Sprintf("irecv %d<-%d tag %d", ep.rank, src, tag)),
+	}
+	// Scan pending messages in arrival order for the first match
+	// (non-overtaking per sender).
+	for i, msg := range comm.pendingMsgs {
+		if msg.dst == ep.rank && matches(rop, msg) {
+			comm.pendingMsgs = append(comm.pendingMsgs[:i], comm.pendingMsgs[i+1:]...)
+			comm.deliver(msg, rop)
+			return rop.req
+		}
+	}
+	comm.postedRecvs = append(comm.postedRecvs, rop)
+	return rop.req
+}
+
+// matches reports whether a posted receive accepts a message. Wildcard tags
+// only match user messages (non-negative tags), so internal collective
+// traffic can never satisfy an AnyTag receive.
+func matches(rop *recvOp, msg *message) bool {
+	if rop.src != AnySource && rop.src != msg.src {
+		return false
+	}
+	if rop.tag == AnyTag {
+		return msg.tag >= 0
+	}
+	return rop.tag == msg.tag
+}
+
+// matchNewMessage pairs a just-posted message against posted receives.
+func (c *Comm) matchNewMessage(msg *message) {
+	for i, rop := range c.postedRecvs {
+		if msg.dst != rop.owner || !matches(rop, msg) {
+			continue
+		}
+		c.postedRecvs = append(c.postedRecvs[:i], c.postedRecvs[i+1:]...)
+		// The message is the newest pending entry; remove it.
+		for j := len(c.pendingMsgs) - 1; j >= 0; j-- {
+			if c.pendingMsgs[j] == msg {
+				c.pendingMsgs = append(c.pendingMsgs[:j], c.pendingMsgs[j+1:]...)
+				break
+			}
+		}
+		c.deliver(msg, rop)
+		return
+	}
+}

@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// prober is a blocked MPI_Probe waiting for a matching message envelope.
+type prober struct {
+	owner    int
+	src, tag int
+	tr       *sim.Trigger
+}
+
+// probeMatches reuses the receive-matching rules for a probe filter.
+func probeMatches(pr *prober, msg *message) bool {
+	if msg.dst != pr.owner {
+		return false
+	}
+	rop := &recvOp{owner: pr.owner, src: pr.src, tag: pr.tag}
+	return matches(rop, msg)
+}
+
+// Iprobe reports, without blocking or consuming, whether a message matching
+// (src, tag) — wildcards allowed — is pending for this rank, and its
+// envelope if so, like MPI_Iprobe.
+func (ep *Endpoint) Iprobe(src, tag int, comm *Comm) (bool, Status, error) {
+	if src != AnySource && (src < 0 || src >= ep.world.size) {
+		return false, Status{}, fmt.Errorf("%w: source %d", ErrRankRange, src)
+	}
+	if tag != AnyTag && tag < 0 {
+		return false, Status{}, fmt.Errorf("%w: tag %d", ErrTagNegative, tag)
+	}
+	pr := &prober{owner: ep.rank, src: src, tag: tag}
+	for _, msg := range comm.pendingMsgs {
+		if probeMatches(pr, msg) {
+			return true, Status{Source: msg.src, Tag: msg.tag, Count: msg.size}, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// Probe blocks until a matching message is pending and returns its
+// envelope without consuming it, like MPI_Probe. A subsequent Recv with the
+// returned source and tag is guaranteed to match a message of the reported
+// size (single-threaded per rank; concurrent receivers can race for it, as
+// in MPI).
+func (ep *Endpoint) Probe(p *sim.Proc, src, tag int, comm *Comm) (Status, error) {
+	for {
+		ok, st, err := ep.Iprobe(src, tag, comm)
+		if err != nil {
+			return Status{}, err
+		}
+		if ok {
+			return st, nil
+		}
+		pr := &prober{
+			owner: ep.rank, src: src, tag: tag,
+			tr: sim.NewTrigger(ep.world.eng, fmt.Sprintf("probe %d<-%d tag %d", ep.rank, src, tag)),
+		}
+		comm.probers = append(comm.probers, pr)
+		pr.tr.Wait(p)
+		// A message for us arrived; loop to pick up its envelope (it may
+		// have been consumed by a concurrent receive in the meantime).
+	}
+}
+
+// notifyProbers wakes probers whose filter matches the new message.
+func (c *Comm) notifyProbers(msg *message) {
+	if len(c.probers) == 0 {
+		return
+	}
+	remaining := c.probers[:0]
+	for _, pr := range c.probers {
+		if probeMatches(pr, msg) {
+			pr.tr.Fire(nil)
+		} else {
+			remaining = append(remaining, pr)
+		}
+	}
+	c.probers = remaining
+}
+
+// Ssend sends buf with synchronous-send semantics (MPI_Ssend): the call
+// returns only after the matching receive has been posted and the transfer
+// completed, regardless of message size — eager buffering is disabled. A
+// synchronous self-send therefore requires a receive posted by another
+// process of the same rank (or earlier), exactly the deadlock trap MPI_Ssend
+// is famous for; the simulator's deadlock detector reports it.
+func (ep *Endpoint) Ssend(p *sim.Proc, buf []byte, dest, tag int, comm *Comm) error {
+	if err := ep.checkArgs(dest, tag); err != nil {
+		return err
+	}
+	w := ep.world
+	w.seq++
+	msg := &message{
+		src: ep.rank, dst: dest, tag: tag, seq: w.seq,
+		size:    len(buf),
+		sendBuf: buf, // rendezvous path: completes only on match
+		req:     newRequest(w.eng, fmt.Sprintf("ssend %d->%d tag %d", ep.rank, dest, tag)),
+	}
+	comm.pendingMsgs = append(comm.pendingMsgs, msg)
+	comm.notifyProbers(msg)
+	comm.matchNewMessage(msg)
+	_, err := msg.req.Wait(p)
+	return err
+}

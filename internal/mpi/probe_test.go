@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestIprobeSeesWithoutConsuming(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			ep.Send(p, []byte("abc"), 1, 9, Bytes, w.Comm())
+			return
+		}
+		p.Sleep(time.Millisecond) // let the eager message arrive logically
+		for i := 0; i < 2; i++ {  // probing twice: not consumed
+			ok, st, err := ep.Iprobe(0, 9, w.Comm())
+			if err != nil || !ok {
+				t.Fatalf("iprobe %d: %v %v", i, ok, err)
+			}
+			if st.Source != 0 || st.Tag != 9 || st.Count != 3 {
+				t.Fatalf("envelope %+v", st)
+			}
+		}
+		buf := make([]byte, 3)
+		if _, err := ep.Recv(p, buf, 0, 9, Bytes, w.Comm()); err != nil {
+			t.Errorf("recv after probe: %v", err)
+		}
+		// Nothing left.
+		if ok, _, _ := ep.Iprobe(AnySource, AnyTag, w.Comm()); ok {
+			t.Error("iprobe true after the message was consumed")
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestProbeBlocksUntilArrival(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	const delay = 5 * time.Millisecond
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			p.Sleep(delay)
+			ep.Send(p, make([]byte, 77), 1, 2, Bytes, w.Comm())
+			return
+		}
+		st, err := ep.Probe(p, AnySource, AnyTag, w.Comm())
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		if p.Now() < sim.Time(delay) {
+			t.Errorf("probe returned at %v, before the send at %v", p.Now(), delay)
+		}
+		if st.Count != 77 || st.Source != 0 || st.Tag != 2 {
+			t.Errorf("envelope %+v", st)
+		}
+		// Probe-then-recv with the discovered envelope: the classic
+		// dynamic-size receive pattern.
+		buf := make([]byte, st.Count)
+		if _, err := ep.Recv(p, buf, st.Source, st.Tag, Bytes, w.Comm()); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestIprobeValidation(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() != 0 {
+			return
+		}
+		if _, _, err := ep.Iprobe(7, 0, w.Comm()); !errors.Is(err, ErrRankRange) {
+			t.Errorf("bad src: %v", err)
+		}
+		if _, _, err := ep.Iprobe(0, -5, w.Comm()); !errors.Is(err, ErrTagNegative) {
+			t.Errorf("bad tag: %v", err)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestProbeDoesNotMatchInternalTraffic(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		// A barrier generates internal messages; a wildcard probe issued
+		// afterwards must not see them.
+		if err := ep.Barrier(p, w.Comm()); err != nil {
+			t.Fatalf("barrier: %v", err)
+		}
+		if ok, st, _ := ep.Iprobe(AnySource, AnyTag, w.Comm()); ok {
+			t.Errorf("wildcard probe matched internal traffic: %+v", st)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestSsendWaitsForReceiver(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	const delay = 8 * time.Millisecond
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		small := []byte{1, 2, 3} // well under the eager threshold
+		if ep.Rank() == 0 {
+			if err := ep.Ssend(p, small, 1, 0, w.Comm()); err != nil {
+				t.Errorf("ssend: %v", err)
+			}
+			if p.Now() < sim.Time(delay) {
+				t.Errorf("Ssend of a small message completed at %v, before the receive at %v", p.Now(), delay)
+			}
+		} else {
+			p.Sleep(delay)
+			if _, err := ep.Recv(p, make([]byte, 3), 0, 0, Bytes, w.Comm()); err != nil {
+				t.Errorf("recv: %v", err)
+			}
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestSsendSelfDeadlockDetected(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 1)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		// MPI_Ssend to self with no posted receive: the classic hang,
+		// surfaced by the deadlock detector instead of a wedged test.
+		ep.Ssend(p, []byte{1}, 0, 0, w.Comm())
+	})
+	err := e.Run()
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestSsendValidation(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() != 0 {
+			return
+		}
+		if err := ep.Ssend(p, nil, 9, 0, w.Comm()); !errors.Is(err, ErrRankRange) {
+			t.Errorf("bad dest: %v", err)
+		}
+	})
+	mustRun(t, e)
+}

@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestPropRandomSchedulesDeliverExactly: for any random set of messages
+// between random rank pairs with random tags, sizes (spanning the eager and
+// rendezvous regimes) and posting delays, every receive obtains exactly the
+// payload of its matching send.
+func TestPropRandomSchedulesDeliverExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4
+		e := sim.NewEngine()
+		w := NewWorld(cluster.New(e, cluster.RICC(), n))
+		nMsgs := rng.Intn(12) + 1
+		type spec struct {
+			src, dst, tag int
+			payload       []byte
+			sendDelay     time.Duration
+			recvDelay     time.Duration
+			got           []byte
+		}
+		specs := make([]*spec, nMsgs)
+		for i := range specs {
+			size := rng.Intn(3 * EagerThreshold / 2)
+			pl := make([]byte, size)
+			rng.Read(pl)
+			specs[i] = &spec{
+				src:       rng.Intn(n),
+				dst:       rng.Intn(n),
+				tag:       i, // unique tags keep the oracle simple
+				payload:   pl,
+				sendDelay: time.Duration(rng.Intn(2000)) * time.Microsecond,
+				recvDelay: time.Duration(rng.Intn(2000)) * time.Microsecond,
+				got:       make([]byte, size),
+			}
+		}
+		w.LaunchRanks("p", func(p *sim.Proc, ep *Endpoint) {
+			done := sim.NewWaitGroup(e, "ops")
+			for _, s := range specs {
+				s := s
+				if s.src == ep.Rank() {
+					done.Add(1)
+					p.Spawn("send", func(sp *sim.Proc) {
+						defer done.Done()
+						sp.Sleep(s.sendDelay)
+						if err := ep.Send(sp, s.payload, s.dst, s.tag, Bytes, w.Comm()); err != nil {
+							t.Errorf("send: %v", err)
+						}
+					})
+				}
+				if s.dst == ep.Rank() {
+					done.Add(1)
+					p.Spawn("recv", func(rp *sim.Proc) {
+						defer done.Done()
+						rp.Sleep(s.recvDelay)
+						st, err := ep.Recv(rp, s.got, s.src, s.tag, Bytes, w.Comm())
+						if err != nil {
+							t.Errorf("recv: %v", err)
+						}
+						if st.Count != len(s.payload) {
+							t.Errorf("count %d, want %d", st.Count, len(s.payload))
+						}
+					})
+				}
+			}
+			done.Wait(p)
+		})
+		if err := e.Run(); err != nil {
+			t.Logf("sim error: %v", err)
+			return false
+		}
+		for _, s := range specs {
+			if !bytes.Equal(s.got, s.payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropNonOvertakingAnyTag: same-pair messages received with AnyTag
+// always arrive in posting order, whatever the sizes (mixing eager and
+// rendezvous must not reorder matching).
+func TestPropNonOvertakingAnyTag(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 10 {
+			sizes = sizes[:10]
+		}
+		e := sim.NewEngine()
+		w := NewWorld(cluster.New(e, cluster.RICC(), 2))
+		var tags []int
+		w.LaunchRanks("p", func(p *sim.Proc, ep *Endpoint) {
+			if ep.Rank() == 0 {
+				for i, s := range sizes {
+					buf := make([]byte, s%(2*EagerThreshold))
+					req, err := ep.Isend(p, buf, 1, i, Bytes, w.Comm())
+					if err != nil {
+						t.Errorf("isend: %v", err)
+						return
+					}
+					// Fire-and-forget; waited implicitly by sim end.
+					_ = req
+					p.Yield()
+				}
+				return
+			}
+			for range sizes {
+				buf := make([]byte, 2*EagerThreshold)
+				st, err := ep.Recv(p, buf, 0, AnyTag, Bytes, w.Comm())
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				tags = append(tags, st.Tag)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i, tag := range tags {
+			if tag != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropBcastMatchesDirectCopy: broadcast output equals the root's input
+// on every rank for random sizes and roots.
+func TestPropBcastMatchesDirectCopy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 1
+		root := rng.Intn(n)
+		size := rng.Intn(2*EagerThreshold) + 1
+		want := make([]byte, size)
+		rng.Read(want)
+		e := sim.NewEngine()
+		w := NewWorld(cluster.New(e, cluster.RICC(), n))
+		ok := true
+		w.LaunchRanks("p", func(p *sim.Proc, ep *Endpoint) {
+			buf := make([]byte, size)
+			if ep.Rank() == root {
+				copy(buf, want)
+			}
+			if err := ep.Bcast(p, buf, root, w.Comm()); err != nil {
+				t.Errorf("bcast: %v", err)
+			}
+			if !bytes.Equal(buf, want) {
+				ok = false
+			}
+		})
+		return e.Run() == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Request tracks a nonblocking operation, like MPI_Request. It completes at
+// most once; Wait and Test observe the final status and error.
+type Request struct {
+	label  string
+	done   *sim.Trigger
+	status Status
+	err    error
+}
+
+// NewUserRequest creates an unattached request plus its completion function,
+// for runtimes that layer custom transfers over MPI (the CL_MEM hook). The
+// completion function may be called once, from a simulated process.
+func NewUserRequest(w *World, label string) (*Request, func(status Status, err error)) {
+	r := newRequest(w.eng, label)
+	return r, func(status Status, err error) { r.complete(status, err) }
+}
+
+func newRequest(e *sim.Engine, label string) *Request {
+	return &Request{label: label, done: sim.NewTrigger(e, "request "+label)}
+}
+
+// complete finishes the request now.
+func (r *Request) complete(status Status, err error) {
+	r.status, r.err = status, err
+	r.done.Fire(err)
+}
+
+// completeAfter finishes the request d of virtual time from now.
+func (r *Request) completeAfter(d time.Duration, status Status, err error) {
+	r.status, r.err = status, err
+	r.done.FireAfter(d, err)
+}
+
+// Label reports the request's diagnostic name.
+func (r *Request) Label() string { return r.label }
+
+// Wait blocks process p until the operation completes, returning the
+// receive status (zero Status for sends) and the operation's error.
+func (r *Request) Wait(p *sim.Proc) (Status, error) {
+	r.done.Wait(p)
+	return r.status, r.err
+}
+
+// Test reports without blocking whether the operation has completed, and if
+// so its status and error, like MPI_Test.
+func (r *Request) Test() (bool, Status, error) {
+	if !r.done.Fired() {
+		return false, Status{}, nil
+	}
+	return true, r.status, r.err
+}
+
+// Done exposes the completion trigger so other runtimes can chain on it —
+// this is what clCreateEventFromMPIRequest builds on (§IV-C of the paper).
+func (r *Request) Done() *sim.Trigger { return r.done }
+
+// Waitall blocks until every request completes, returning the first error
+// in slice order, like MPI_Waitall. Nil requests are skipped.
+func Waitall(p *sim.Proc, reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Waitany blocks until at least one request has completed and returns its
+// index plus its status and error, like MPI_Waitany. Completed requests are
+// reported in slice order when several are already done. All-nil input
+// returns -1 immediately.
+func Waitany(p *sim.Proc, reqs ...*Request) (int, Status, error) {
+	live := 0
+	for _, r := range reqs {
+		if r != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return -1, Status{}, nil
+	}
+	for {
+		for i, r := range reqs {
+			if r == nil {
+				continue
+			}
+			if done, st, err := r.Test(); done {
+				return i, st, err
+			}
+		}
+		// Park until the first completion among the live requests; the
+		// wait on a single request returns when that one fires, after
+		// which the scan above may also discover earlier-indexed winners
+		// completed at the same instant.
+		any := sim.NewTrigger(p.Engine(), "waitany")
+		for _, r := range reqs {
+			if r != nil {
+				r.done.Chain(any)
+			}
+		}
+		any.Wait(p)
+	}
+}

@@ -1,0 +1,67 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestWaitanyReturnsFirstCompletion(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 3)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		switch ep.Rank() {
+		case 1:
+			p.Sleep(10 * time.Millisecond)
+			ep.Send(p, []byte{1}, 0, 1, Bytes, w.Comm())
+		case 2:
+			p.Sleep(2 * time.Millisecond)
+			ep.Send(p, []byte{2}, 0, 2, Bytes, w.Comm())
+		case 0:
+			b1, b2 := make([]byte, 1), make([]byte, 1)
+			r1, _ := ep.Irecv(p, b1, 1, 1, Bytes, w.Comm())
+			r2, _ := ep.Irecv(p, b2, 2, 2, Bytes, w.Comm())
+			idx, st, err := Waitany(p, r1, r2)
+			if err != nil {
+				t.Errorf("waitany: %v", err)
+			}
+			if idx != 1 || st.Source != 2 {
+				t.Errorf("waitany picked %d (%+v), want the rank-2 message", idx, st)
+			}
+			// Drain the other.
+			if _, err := r1.Wait(p); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestWaitanyAlreadyComplete(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 2)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() == 1 {
+			ep.Send(p, []byte{9}, 0, 0, Bytes, w.Comm())
+			return
+		}
+		buf := make([]byte, 1)
+		r, _ := ep.Irecv(p, buf, 1, 0, Bytes, w.Comm())
+		r.Wait(p)
+		idx, _, err := Waitany(p, nil, r)
+		if idx != 1 || err != nil {
+			t.Errorf("waitany on completed = %d, %v", idx, err)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestWaitanyAllNil(t *testing.T) {
+	e, w := rig(t, cluster.RICC(), 1)
+	w.LaunchRanks("t", func(p *sim.Proc, ep *Endpoint) {
+		if idx, _, _ := Waitany(p, nil, nil); idx != -1 {
+			t.Errorf("all-nil waitany = %d", idx)
+		}
+	})
+	mustRun(t, e)
+}

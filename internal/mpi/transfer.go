@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// secondsToDur converts floating-point seconds to a duration.
+func secondsToDur(s float64) time.Duration { return time.Duration(s * 1e9) }
+
+// checkArgs validates a destination rank and user tag.
+func (ep *Endpoint) checkArgs(dest, tag int) error {
+	if dest < 0 || dest >= ep.world.size {
+		return fmt.Errorf("%w: destination %d of %d", ErrRankRange, dest, ep.world.size)
+	}
+	if tag < 0 {
+		return fmt.Errorf("%w: tag %d", ErrTagNegative, tag)
+	}
+	return nil
+}
+
+// wireTransfer charges n bytes across the fabric from this rank to dest:
+// the sender's transmit path and the receiver's receive path are held
+// concurrently for the serialization time (cut-through), preceded by the
+// per-message software overhead. It returns when the last byte has left.
+func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
+	w := ep.world
+	tx := w.Node(ep.rank).TX
+	rx := w.Node(dest).RX
+	d := w.clus.Sys.NIC.MsgOverhead + tx.SerializationTime(n)
+	// A switch path is taken first (FIFO), then the endpoints; the strict
+	// resource ordering (backplane → tx → rx) keeps the model cycle-free.
+	if bp := w.clus.Backplane; bp != nil {
+		bp.Acquire(p, 1)
+		defer bp.Release(p, 1)
+	}
+	tx.Lock(p)
+	rx.Lock(p)
+	if d > 0 {
+		p.Sleep(d)
+	}
+	tx.AddBusy(d, n)
+	rx.AddBusy(d, n)
+	rx.Unlock(p)
+	tx.Unlock(p)
+}
+
+// deliver finalizes a matched (message, receive) pair.
+func (c *Comm) deliver(msg *message, rop *recvOp) {
+	w := c.world
+	st := Status{Source: msg.src, Tag: msg.tag, Count: msg.size}
+	if msg.size > len(rop.buf) {
+		// Truncation is the receiver's error; the sender completes
+		// normally (its data was accepted by the transport).
+		err := fmt.Errorf("%w: %d bytes into %d-byte buffer", ErrTruncate, msg.size, len(rop.buf))
+		if msg.eager {
+			rop.req.complete(st, err)
+		} else {
+			msg.req.complete(Status{}, nil)
+			rop.req.complete(st, err)
+		}
+		return
+	}
+	if msg.eager {
+		// Data travels independently of matching; the receive completes
+		// when the payload has arrived (it may already have).
+		buf := rop.buf
+		req := rop.req
+		msg.arrived.OnFire(func(at sim.Time, _ any) {
+			copy(buf, msg.payload)
+			req.status = st
+		})
+		msg.arrived.Chain(req.done)
+		return
+	}
+	if msg.src == msg.dst {
+		// Local rendezvous (synchronous self-send): a memory copy.
+		d := localOverhead + secondsToDur(float64(msg.size)/w.Node(msg.src).Sys.CPU.MemBW)
+		copy(rop.buf, msg.sendBuf)
+		msg.req.completeAfter(d, Status{}, nil)
+		rop.req.completeAfter(d, st, nil)
+		return
+	}
+	// Rendezvous: run the wire transfer now that both sides exist.
+	lat := w.clus.Sys.NIC.WireLatency
+	w.eng.Spawn(fmt.Sprintf("rndv %d->%d", msg.src, msg.dst), func(tp *sim.Proc) {
+		src := w.Endpoint(msg.src)
+		src.wireTransfer(tp, msg.dst, int64(msg.size))
+		copy(rop.buf, msg.sendBuf)
+		// Sender's buffer is reusable once the NIC is done with it.
+		msg.req.complete(Status{}, nil)
+		rop.req.completeAfter(lat, st, nil)
+	})
+}
+
+// Send is the blocking send, like MPI_Send: it returns when the send buffer
+// may be reused (eager: NIC accepted; rendezvous: transfer done).
+func (ep *Endpoint) Send(p *sim.Proc, buf []byte, dest, tag int, dtype Datatype, comm *Comm) error {
+	req, err := ep.Isend(p, buf, dest, tag, dtype, comm)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait(p)
+	return err
+}
+
+// Recv is the blocking receive, like MPI_Recv.
+func (ep *Endpoint) Recv(p *sim.Proc, buf []byte, src, tag int, dtype Datatype, comm *Comm) (Status, error) {
+	req, err := ep.Irecv(p, buf, src, tag, dtype, comm)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait(p)
+}
+
+// Sendrecv performs a combined send and receive without deadlocking on
+// cyclic exchange patterns, like MPI_Sendrecv — the primitive Figure 1 of
+// the paper builds its halo exchange on.
+func (ep *Endpoint) Sendrecv(p *sim.Proc, sendBuf []byte, dest, sendTag int, recvBuf []byte, src, recvTag int, comm *Comm) (Status, error) {
+	sreq, err := ep.Isend(p, sendBuf, dest, sendTag, Bytes, comm)
+	if err != nil {
+		return Status{}, err
+	}
+	rreq, err := ep.Irecv(p, recvBuf, src, recvTag, Bytes, comm)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := sreq.Wait(p); err != nil {
+		return Status{}, err
+	}
+	return rreq.Wait(p)
+}

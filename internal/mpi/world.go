@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// World is one MPI job: a set of ranks mapped 1:1 onto cluster nodes,
+// sharing a fabric. It owns the world communicator.
+type World struct {
+	eng   *sim.Engine
+	clus  *cluster.Cluster
+	size  int
+	world *Comm
+	hook  CLMemHook
+	seq   uint64 // global message sequence for deterministic tie-breaks
+}
+
+// NewWorld creates a job spanning every node of the cluster.
+func NewWorld(c *cluster.Cluster) *World {
+	w := &World{eng: c.Eng, clus: c, size: len(c.Nodes)}
+	w.world = newComm(w, "MPI_COMM_WORLD")
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the world communicator.
+func (w *World) Comm() *Comm { return w.world }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Node returns the cluster node hosting the given rank.
+func (w *World) Node(rank int) *cluster.Node { return w.clus.Nodes[rank] }
+
+// CLMemHook lets an accelerator runtime take over transfers whose datatype
+// is CLMem, the paper's MPI_CL_MEM (§IV-C): the hook sees standard MPI
+// arguments and implements the host↔device collaboration behind them. The
+// clMPI runtime (internal/clmpi) registers itself here.
+type CLMemHook interface {
+	IsendCLMem(p *sim.Proc, ep *Endpoint, buf []byte, dest, tag int, comm *Comm) (*Request, error)
+	IrecvCLMem(p *sim.Proc, ep *Endpoint, buf []byte, src, tag int, comm *Comm) (*Request, error)
+}
+
+// RegisterCLMemHook installs the CL_MEM handler for this world.
+func (w *World) RegisterCLMemHook(h CLMemHook) { w.hook = h }
+
+// Endpoint is a rank's handle on the runtime. All calls on one endpoint may
+// come from different simulated processes of that rank (host thread plus
+// runtime helper threads) — MPI_THREAD_MULTIPLE.
+type Endpoint struct {
+	world *World
+	rank  int
+}
+
+// Endpoint returns rank's handle.
+func (w *World) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: endpoint rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Endpoint{world: w, rank: rank}
+}
+
+// Rank reports this endpoint's rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size reports the world size.
+func (ep *Endpoint) Size() int { return ep.world.size }
+
+// World returns the owning world.
+func (ep *Endpoint) World() *World { return ep.world }
+
+// Node returns the cluster node this rank runs on.
+func (ep *Endpoint) Node() *cluster.Node { return ep.world.Node(ep.rank) }
+
+// LaunchRanks spawns one host-thread process per rank running body, the
+// standard SPMD entry point: body(p, ep) is rank ep.Rank()'s main.
+func (w *World) LaunchRanks(name string, body func(p *sim.Proc, ep *Endpoint)) {
+	for r := 0; r < w.size; r++ {
+		ep := w.Endpoint(r)
+		w.eng.Spawn(fmt.Sprintf("%s.rank%d", name, r), func(p *sim.Proc) { body(p, ep) })
+	}
+}
+
+// Comm is a communicator: an isolated matching context over the world's
+// ranks. Messages sent on one communicator are invisible to another.
+type Comm struct {
+	world *World
+	name  string
+
+	// Matching state. Access is safe without host locks because exactly
+	// one simulated process runs at a time.
+	postedRecvs []*recvOp
+	pendingMsgs []*message
+	probers     []*prober
+}
+
+func newComm(w *World, name string) *Comm {
+	return &Comm{world: w, name: name}
+}
+
+// Name reports the communicator's diagnostic name.
+func (c *Comm) Name() string { return c.name }
+
+// Dup creates a communicator with the same group but a separate matching
+// context, like MPI_Comm_dup.
+func (c *Comm) Dup(name string) *Comm { return newComm(c.world, name) }

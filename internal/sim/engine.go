@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Engine drives a single simulation. Create one with NewEngine, add processes
+// with Spawn, then call Run. The zero Engine is not usable.
+//
+// Exactly one process goroutine executes at any moment, so simulation code
+// may share data structures without host-level locking. The engine lock only
+// guards the scheduler's own state.
+type Engine struct {
+	mu      sync.Mutex
+	now     Time
+	seq     uint64 // tie-breaker for simultaneous events
+	timers  timerHeap
+	ready   []*Proc // FIFO of processes runnable at the current instant
+	alive   int     // processes spawned and not yet finished
+	daemons int     // subset of alive that are daemons
+	running bool    // true while some process goroutine is executing
+	started bool    // Run has been called
+	stopped bool    // simulation has ended (normally or by abort)
+	err     error
+	done    chan struct{}
+	procs   []*Proc // every process ever spawned, for diagnostics
+}
+
+// DeadlockError reports that the simulation can make no further progress:
+// no process is runnable, no timer is pending, yet processes remain blocked.
+type DeadlockError struct {
+	// Time is the virtual instant at which progress stopped.
+	Time Time
+	// Blocked names the processes that were still waiting, annotated with
+	// the label of the primitive each blocked on.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; blocked: %s", e.Time, strings.Join(e.Blocked, ", "))
+}
+
+// abortPanic unwinds a process goroutine when the simulation is torn down.
+type abortPanic struct{}
+
+// timerEvent wakes a process (or runs a callback) at a future instant.
+type timerEvent struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // woken if non-nil
+	fn   func() // otherwise run with the engine lock held
+}
+
+type timerHeap []timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEvent)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine {
+	return &Engine{done: make(chan struct{})}
+}
+
+// Now reports the current virtual time. It may be called at any point,
+// including before Run and after the simulation has finished.
+func (e *Engine) Now() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Spawn registers fn as a new simulated process named name. If the engine is
+// already running, the process becomes runnable at the current virtual
+// instant; otherwise it starts when Run is called. Processes spawned from
+// within a running process execute after the spawner next blocks.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon registers a background service process. Daemons model runtime
+// machinery (command-queue workers, MPI progress engines) that legitimately
+// blocks forever waiting for work: the simulation completes normally once
+// every non-daemon process has finished, at which point remaining daemons
+// are torn down, and daemons alone never constitute a deadlock.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		panic("sim: Spawn after simulation ended")
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}, 1), state: stateReady, daemon: daemon}
+	e.alive++
+	if daemon {
+		e.daemons++
+	}
+	e.procs = append(e.procs, p)
+	e.ready = append(e.ready, p)
+	go e.runProc(p, fn)
+	return p
+}
+
+// runProc is the goroutine body wrapping a process function.
+func (e *Engine) runProc(p *Proc, fn func(p *Proc)) {
+	<-p.resume // wait to be scheduled for the first time
+	e.mu.Lock()
+	aborted := e.stopped
+	if !aborted {
+		p.state = stateRunning
+	}
+	e.mu.Unlock()
+	if !aborted {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); ok {
+						return // engine teardown
+					}
+					panic(r)
+				}
+			}()
+			fn(p)
+		}()
+	}
+	e.mu.Lock()
+	p.state = stateFinished
+	e.alive--
+	if p.daemon {
+		e.daemons--
+	}
+	if e.stopped {
+		if e.alive == 0 {
+			e.closeDoneLocked()
+		}
+	} else {
+		e.running = false
+		e.scheduleLocked()
+	}
+	e.mu.Unlock()
+}
+
+// Run executes the simulation until every process has finished, returning
+// nil, or until no progress is possible, returning a *DeadlockError. Run
+// must be called exactly once, from a goroutine that is not itself a
+// simulated process.
+func (e *Engine) Run() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("sim: Run called twice")
+	}
+	e.started = true
+	e.scheduleLocked()
+	e.mu.Unlock()
+	<-e.done
+	return e.err
+}
+
+// Err reports the simulation outcome after Run has returned.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Stats summarizes a simulation's size.
+type Stats struct {
+	// Procs is the total number of processes ever spawned.
+	Procs int
+	// Timers is the total number of timer events scheduled.
+	Timers uint64
+	// Now is the current virtual time.
+	Now Time
+}
+
+// Stats reports engine counters; useful for sizing and overhead reporting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Procs: len(e.procs), Timers: e.seq, Now: e.now}
+}
+
+// atLocked schedules fn to run (with the engine lock held) at instant t.
+func (e *Engine) atLocked(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.timers, timerEvent{at: t, seq: e.seq, fn: fn})
+}
+
+// atProcLocked schedules process p to wake at instant t.
+func (e *Engine) atProcLocked(t Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.timers, timerEvent{at: t, seq: e.seq, proc: p})
+}
+
+// After schedules fn to run after duration d of virtual time. fn executes in
+// scheduler context: it must not block, and typically fires a Trigger or
+// wakes processes. It is the building block for modelled asynchronous
+// hardware (a NIC delivering a message, a DMA engine completing).
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.atLocked(e.now.Add(d), fn)
+}
+
+// wakeLocked moves a parked process to the ready queue.
+// Callers must hold e.mu.
+func (e *Engine) wakeLocked(p *Proc) {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
+	}
+	p.state = stateReady
+	p.waitLabel = ""
+	e.ready = append(e.ready, p)
+}
+
+// scheduleLocked hands execution to the next runnable process, advancing the
+// clock when necessary. Callers must hold e.mu and must have ensured no
+// process is currently marked running (e.running == false).
+func (e *Engine) scheduleLocked() {
+	if e.stopped || !e.started || e.running {
+		return
+	}
+	for {
+		if len(e.ready) > 0 {
+			p := e.ready[0]
+			e.ready = e.ready[1:]
+			e.running = true
+			p.resume <- struct{}{}
+			return
+		}
+		if len(e.timers) > 0 {
+			ev := heap.Pop(&e.timers).(timerEvent)
+			if ev.at < e.now {
+				panic("sim: timer in the past")
+			}
+			e.now = ev.at
+			if ev.proc != nil {
+				e.wakeLocked(ev.proc)
+			} else {
+				ev.fn() // may append to e.ready or push timers
+			}
+			continue
+		}
+		if e.alive == 0 {
+			e.stopped = true
+			e.closeDoneLocked()
+			return
+		}
+		if e.alive == e.daemons {
+			// Only background services remain: normal completion.
+			// Tear the daemons down so no goroutine leaks.
+			e.abortLocked(nil)
+			return
+		}
+		// Processes remain but nothing can wake them: deadlock.
+		var blocked []string
+		for _, p := range e.procs {
+			if p.state == stateParked && !p.daemon {
+				label := p.waitLabel
+				if label == "" {
+					label = "unknown"
+				}
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, label))
+			}
+		}
+		sort.Strings(blocked)
+		e.abortLocked(&DeadlockError{Time: e.now, Blocked: blocked})
+		return
+	}
+}
+
+// abortLocked tears the simulation down: every blocked process is resumed so
+// it can unwind via abortPanic, guaranteeing no goroutine leaks. Callers must
+// hold e.mu.
+func (e *Engine) abortLocked(err error) {
+	e.stopped = true
+	e.err = err
+	if e.alive == 0 {
+		e.closeDoneLocked()
+		return
+	}
+	for _, p := range e.procs {
+		if p.state == stateParked || p.state == stateReady {
+			select {
+			case p.resume <- struct{}{}:
+			default:
+			}
+		}
+	}
+	// The last process to observe the stop closes done (see runProc/park).
+}
+
+// closeDoneLocked signals Run exactly once. Callers must hold e.mu.
+func (e *Engine) closeDoneLocked() {
+	select {
+	case <-e.done:
+	default:
+		close(e.done)
+	}
+}
+
+// park blocks the calling process p until it is woken. The caller must have
+// arranged a wakeup (timer, trigger waiter list, ...) while holding e.mu,
+// then call park with e.mu held; park releases and reacquires it.
+func (e *Engine) park(p *Proc, label string) {
+	p.state = stateParked
+	p.waitLabel = label
+	e.running = false
+	e.scheduleLocked()
+	e.mu.Unlock()
+	<-p.resume
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		panic(abortPanic{})
+	}
+	p.state = stateRunning
+	// Return with e.mu held, as the caller expects.
+}

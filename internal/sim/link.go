@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link models a bandwidth-limited, FIFO, store-and-forward transport
+// resource: a PCIe direction, a NIC transmit or receive path. A transfer
+// occupies the link exclusively for its serialization time; concurrent
+// transfers queue in request order, which is how contention (two messages
+// sharing a NIC, a halo exchange colliding with a pipelined block) arises in
+// the simulation.
+type Link struct {
+	eng   *Engine
+	name  string
+	bw    float64 // bytes per second; 0 means infinitely fast
+	mu    *Mutex
+	busy  time.Duration // total occupied time, for utilization reporting
+	moved int64         // total bytes transferred
+}
+
+// NewLink creates a link with the given bandwidth in bytes per second.
+func NewLink(e *Engine, name string, bytesPerSecond float64) *Link {
+	if bytesPerSecond < 0 {
+		panic("sim: negative link bandwidth")
+	}
+	return &Link{eng: e, name: name, bw: bytesPerSecond, mu: NewMutex(e, "link "+name)}
+}
+
+// Name reports the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth reports the configured bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bw }
+
+// SerializationTime reports how long n bytes occupy the link, excluding
+// queueing.
+func (l *Link) SerializationTime(n int64) time.Duration {
+	if l.bw == 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.bw * 1e9)
+}
+
+// Transfer moves n bytes across the link: it waits for the link FIFO, then
+// occupies it for the serialization time plus extra (per-operation overhead
+// such as protocol processing that also occupies the resource). It returns
+// the instant the last byte left the link.
+func (l *Link) Transfer(p *Proc, n int64, extra time.Duration) Time {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative transfer size %d on link %s", n, l.name))
+	}
+	d := l.SerializationTime(n) + extra
+	l.mu.Lock(p)
+	if d > 0 {
+		p.Sleep(d)
+	}
+	l.busy += d
+	l.moved += n
+	l.mu.Unlock(p)
+	return p.Now()
+}
+
+// Occupy holds the link for duration d without accounting any bytes, for
+// modelling control operations that serialize on the resource.
+func (l *Link) Occupy(p *Proc, d time.Duration) {
+	l.mu.Lock(p)
+	if d > 0 {
+		p.Sleep(d)
+	}
+	l.busy += d
+	l.mu.Unlock(p)
+}
+
+// Lock acquires exclusive use of the link (FIFO). Use with Unlock and
+// AddBusy to model transfers that span multiple links concurrently, such as
+// a cut-through network hop holding the sender's TX and receiver's RX for
+// the same interval. Prefer Transfer or Occupy for single-link charges.
+func (l *Link) Lock(p *Proc) { l.mu.Lock(p) }
+
+// Unlock releases the link.
+func (l *Link) Unlock(p *Proc) { l.mu.Unlock(p) }
+
+// AddBusy records utilization accounting for externally timed occupancy.
+func (l *Link) AddBusy(d time.Duration, bytes int64) {
+	l.eng.mu.Lock()
+	defer l.eng.mu.Unlock()
+	l.busy += d
+	l.moved += bytes
+}
+
+// Stats reports the total occupied time and bytes moved so far.
+func (l *Link) Stats() (busy time.Duration, bytes int64) {
+	l.eng.mu.Lock()
+	defer l.eng.mu.Unlock()
+	return l.busy, l.moved
+}

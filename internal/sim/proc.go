@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady procState = iota // queued to run at the current instant
+	stateRunning
+	stateParked // blocked on a primitive, wakeup arranged elsewhere
+	stateFinished
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("procState(%d)", int(s))
+	}
+}
+
+// Proc is the handle a simulated process uses to interact with virtual time.
+// A Proc is only valid inside the process function it was passed to; sharing
+// it with another process is a bug.
+type Proc struct {
+	eng       *Engine
+	name      string
+	resume    chan struct{}
+	state     procState
+	daemon    bool
+	waitLabel string // what the process is blocked on, for deadlock reports
+}
+
+// Name reports the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep blocks the process for duration d of virtual time. Negative and zero
+// durations yield the processor to other ready processes at the same instant
+// without advancing the clock for this process.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.mu.Lock()
+	e.atProcLocked(e.now.Add(d), p)
+	e.park(p, fmt.Sprintf("sleep %v", d))
+	e.mu.Unlock()
+}
+
+// Yield lets every other process that is ready at the current instant run
+// before this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Spawn starts a child process. It is shorthand for p.Engine().Spawn; the
+// child becomes runnable once p next blocks.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.eng.Spawn(name, fn)
+}

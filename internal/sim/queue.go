@@ -1,0 +1,107 @@
+package sim
+
+// Queue is an unbounded FIFO channel in virtual time. Any number of
+// processes may Put and Get concurrently; Get blocks while the queue is
+// empty, and blocked getters are served in FIFO order. It is the backbone of
+// every command queue and progress-engine work list in the runtimes above.
+type Queue[T any] struct {
+	eng     *Engine
+	label   string
+	items   []T
+	getters []*Proc
+	// handoff delivers an item directly to a woken getter, preserving FIFO
+	// pairing between items and getters.
+	handoff map[*Proc]T
+	closed  bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](e *Engine, label string) *Queue[T] {
+	return &Queue[T]{eng: e, label: label, handoff: make(map[*Proc]T)}
+}
+
+// Len reports the number of items currently buffered.
+func (q *Queue[T]) Len() int {
+	q.eng.mu.Lock()
+	defer q.eng.mu.Unlock()
+	return len(q.items)
+}
+
+// Put appends an item. It never blocks and may be called from any process.
+// Putting to a closed queue panics.
+func (q *Queue[T]) Put(v T) {
+	e := q.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.closed {
+		panic("sim: Put on closed queue " + q.label)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.handoff[g] = v
+		e.wakeLocked(g)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the oldest item, blocking process p while the
+// queue is empty. The second result is false if the queue was closed and
+// drained.
+func (q *Queue[T]) Get(p *Proc) (T, bool) {
+	e := q.eng
+	e.mu.Lock()
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		e.mu.Unlock()
+		return v, true
+	}
+	if q.closed {
+		e.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	q.getters = append(q.getters, p)
+	e.park(p, "queue "+q.label)
+	v, ok := q.handoff[p]
+	if ok {
+		delete(q.handoff, p)
+		e.mu.Unlock()
+		return v, true
+	}
+	// Woken by Close with nothing delivered; v is the zero value.
+	e.mu.Unlock()
+	return v, false
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	q.eng.mu.Lock()
+	defer q.eng.mu.Unlock()
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Close marks the queue closed: buffered items may still be drained, blocked
+// and future Gets on an empty queue return ok=false, and Put panics. Closing
+// twice is a no-op.
+func (q *Queue[T]) Close() {
+	e := q.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, g := range q.getters {
+		e.wakeLocked(g)
+	}
+	q.getters = nil
+}

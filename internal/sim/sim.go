@@ -1,0 +1,41 @@
+// Package sim implements a deterministic virtual-time discrete-event
+// simulation (DES) kernel.
+//
+// Simulated activities ("processes") are ordinary goroutines that cooperate
+// with a virtual clock: at any instant exactly one process executes, so
+// process code may freely share data structures without host-level locking.
+// When the running process blocks on a simulation primitive (Sleep, a
+// Trigger, a Mutex, ...), the engine resumes the next ready process, or, when
+// none is ready, advances the virtual clock to the earliest pending timer.
+//
+// The engine is the substrate for every other subsystem in this repository:
+// the OpenCL-like device runtime (internal/cl), the MPI-like message-passing
+// runtime (internal/mpi), and the clMPI extension built on both
+// (internal/clmpi). Determinism matters: runs are reproducible bit-for-bit,
+// which the test suite relies on heavily.
+//
+// A simulation that can make no further progress while processes are still
+// blocked is reported as a deadlock: Run returns a *DeadlockError naming the
+// stuck processes. This turns scheduling bugs (the exact class of bug the
+// clMPI paper is about) into loud test failures instead of hangs.
+package sim
+
+import "time"
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation. The zero Time is the simulation start.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and s (t - s).
+func (t Time) Sub(s Time) time.Duration { return time.Duration(t - s) }
+
+// Duration converts t to the duration elapsed since the simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds since the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }

@@ -1,0 +1,147 @@
+package sim
+
+import "time"
+
+// Trigger is a one-shot condition in virtual time: processes Wait on it and
+// all of them resume once Fire is called. Firing an already-fired trigger is
+// a harmless no-op, and waiting on a fired trigger returns immediately —
+// together these make triggers convenient completion flags for modelled
+// hardware events (a command finishing, a message arriving).
+//
+// A Trigger may carry an arbitrary payload set at Fire time, so it doubles
+// as a single-assignment future.
+type Trigger struct {
+	eng     *Engine
+	label   string
+	fired   bool
+	firedAt Time
+	payload any
+	waiters []*Proc
+	// callbacks run in scheduler context when the trigger fires; they must
+	// not block. Used for OpenCL-style event callbacks and event chaining.
+	callbacks []func(at Time, payload any)
+}
+
+// NewTrigger creates an unfired trigger. The label appears in deadlock
+// reports of processes blocked on it.
+func NewTrigger(e *Engine, label string) *Trigger {
+	return &Trigger{eng: e, label: label}
+}
+
+// Fired reports whether the trigger has fired.
+func (t *Trigger) Fired() bool {
+	t.eng.mu.Lock()
+	defer t.eng.mu.Unlock()
+	return t.fired
+}
+
+// FiredAt returns the virtual instant the trigger fired, valid only if Fired.
+func (t *Trigger) FiredAt() Time {
+	t.eng.mu.Lock()
+	defer t.eng.mu.Unlock()
+	return t.firedAt
+}
+
+// Payload returns the value passed to Fire (nil before firing).
+func (t *Trigger) Payload() any {
+	t.eng.mu.Lock()
+	defer t.eng.mu.Unlock()
+	return t.payload
+}
+
+// Fire completes the trigger at the current virtual instant, waking all
+// waiters and running callbacks. Only the first call has any effect.
+func (t *Trigger) Fire(payload any) {
+	e := t.eng
+	e.mu.Lock()
+	t.fireLocked(e.now, payload)
+	e.mu.Unlock()
+}
+
+// FireAfter completes the trigger d of virtual time from now. It must be
+// called from a running process, never from an OnFire callback.
+func (t *Trigger) FireAfter(d time.Duration, payload any) {
+	e := t.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped || t.fired {
+		return
+	}
+	e.atLocked(e.now.Add(d), func() { t.fireLocked(e.now, payload) })
+}
+
+// fireLocked performs the completion. Callers must hold t.eng.mu.
+func (t *Trigger) fireLocked(at Time, payload any) {
+	if t.fired {
+		return
+	}
+	t.fired = true
+	t.firedAt = at
+	t.payload = payload
+	for _, p := range t.waiters {
+		t.eng.wakeLocked(p)
+	}
+	t.waiters = nil
+	cbs := t.callbacks
+	t.callbacks = nil
+	for _, cb := range cbs {
+		cb(at, payload)
+	}
+}
+
+// Wait blocks process p until the trigger fires and returns its payload.
+func (t *Trigger) Wait(p *Proc) any {
+	e := t.eng
+	e.mu.Lock()
+	if t.fired {
+		pl := t.payload
+		e.mu.Unlock()
+		return pl
+	}
+	t.waiters = append(t.waiters, p)
+	e.park(p, "trigger "+t.label)
+	pl := t.payload
+	e.mu.Unlock()
+	return pl
+}
+
+// OnFire registers fn to run when the trigger fires (immediately if it
+// already has). fn runs with the engine lock held: it must not block and must
+// not call any other simulation API — it is intended for bookkeeping only
+// (stamping timestamps, updating status fields). To perform actions on
+// completion, spawn a process that Waits instead, or use Chain.
+func (t *Trigger) OnFire(fn func(at Time, payload any)) {
+	e := t.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.fired {
+		fn(t.firedAt, t.payload)
+		return
+	}
+	t.callbacks = append(t.callbacks, fn)
+}
+
+// Chain arranges for other to fire (with the same payload) at the instant t
+// fires. If t has already fired, other fires immediately.
+func (t *Trigger) Chain(other *Trigger) {
+	e := t.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.fired {
+		other.fireLocked(e.now, t.payload)
+		return
+	}
+	t.callbacks = append(t.callbacks, func(at Time, payload any) {
+		other.fireLocked(at, payload)
+	})
+}
+
+// WaitAll blocks p until every trigger in ts has fired. A nil slice returns
+// immediately.
+func WaitAll(p *Proc, ts ...*Trigger) {
+	for _, t := range ts {
+		if t != nil {
+			t.Wait(p)
+		}
+	}
+}

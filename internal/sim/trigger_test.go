@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTriggerWaitThenFire(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	var got any
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		got = tr.Wait(p)
+		at = p.Now()
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		tr.Fire("payload")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("payload = %v", got)
+	}
+	if at != Time(2*time.Millisecond) {
+		t.Fatalf("woke at %v", at)
+	}
+	if !tr.Fired() || tr.FiredAt() != at || tr.Payload() != "payload" {
+		t.Fatal("trigger state inconsistent after fire")
+	}
+}
+
+func TestTriggerFireThenWait(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	e.Spawn("p", func(p *Proc) {
+		tr.Fire(42)
+		before := p.Now()
+		if v := tr.Wait(p); v != 42 {
+			t.Errorf("payload = %v", v)
+		}
+		if p.Now() != before {
+			t.Error("wait on fired trigger blocked")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriggerSecondFireIgnored(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	e.Spawn("p", func(p *Proc) {
+		tr.Fire(1)
+		p.Sleep(time.Millisecond)
+		tr.Fire(2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Payload() != 1 || tr.FiredAt() != 0 {
+		t.Fatalf("second fire overwrote state: payload=%v at=%v", tr.Payload(), tr.FiredAt())
+	}
+}
+
+func TestTriggerMultipleWaiters(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			tr.Wait(p)
+			if p.Now() != Time(time.Millisecond) {
+				t.Errorf("waiter woke at %v", p.Now())
+			}
+			woke++
+		})
+	}
+	e.Spawn("f", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		tr.Fire(nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5 {
+		t.Fatalf("woke %d waiters, want 5", woke)
+	}
+}
+
+func TestTriggerFireAfter(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		tr.FireAfter(7*time.Millisecond, "late")
+		tr.Wait(p)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestTriggerOnFireBookkeeping(t *testing.T) {
+	e := NewEngine()
+	tr := NewTrigger(e, "t")
+	var stamped Time
+	tr.OnFire(func(at Time, _ any) { stamped = at })
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		tr.Fire(nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stamped != Time(3*time.Millisecond) {
+		t.Fatalf("callback stamped %v", stamped)
+	}
+	// Registering after the fire runs immediately.
+	var again Time = -1
+	tr.OnFire(func(at Time, _ any) { again = at })
+	if again != stamped {
+		t.Fatalf("late OnFire got %v", again)
+	}
+}
+
+func TestTriggerChain(t *testing.T) {
+	e := NewEngine()
+	a := NewTrigger(e, "a")
+	b := NewTrigger(e, "b")
+	a.Chain(b)
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		a.FireAfter(4*time.Millisecond, "x")
+		b.Wait(p)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(4*time.Millisecond) || b.Payload() != "x" {
+		t.Fatalf("chained fire at %v payload %v", at, b.Payload())
+	}
+}
+
+func TestTriggerChainAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	a := NewTrigger(e, "a")
+	b := NewTrigger(e, "b")
+	e.Spawn("p", func(p *Proc) {
+		a.Fire("y")
+		a.Chain(b)
+		if !b.Fired() || b.Payload() != "y" {
+			t.Error("chain to fired trigger did not propagate")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine()
+	ts := []*Trigger{NewTrigger(e, "1"), NewTrigger(e, "2"), NewTrigger(e, "3")}
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		WaitAll(p, ts...)
+		at = p.Now()
+	})
+	for i, tr := range ts {
+		d := time.Duration(i+1) * time.Millisecond
+		tr := tr
+		e.Spawn("f", func(p *Proc) {
+			p.Sleep(d)
+			tr.Fire(nil)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(3*time.Millisecond) {
+		t.Fatalf("WaitAll finished at %v, want the max (3ms)", at)
+	}
+}
+
+func TestWaitAllNilAndEmpty(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("w", func(p *Proc) {
+		WaitAll(p) // empty: returns immediately
+		WaitAll(p, nil, nil)
+		if p.Now() != 0 {
+			t.Error("WaitAll on nothing advanced time")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

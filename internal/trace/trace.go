@@ -1,0 +1,194 @@
+// Package trace records activity spans from a simulation and renders them
+// as ASCII timelines — the tool behind the reproduction of the paper's
+// Figure 4, which contrasts how the serial, hand-optimized, and clMPI
+// Himeno implementations schedule computation and communication.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cl"
+	"repro/internal/sim"
+)
+
+// Span is one activity on one lane.
+type Span struct {
+	Lane  string
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Tracer collects spans. It is not safe for host-level concurrency, which
+// is fine: simulation processes run one at a time.
+type Tracer struct {
+	spans []Span
+	open  map[string]Span // keyed by lane; queues run one command at a time
+}
+
+// New creates an empty tracer.
+func New() *Tracer {
+	return &Tracer{open: make(map[string]Span)}
+}
+
+// Add records a completed span directly.
+func (t *Tracer) Add(lane, label string, start, end sim.Time) {
+	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+}
+
+// Spans returns all recorded spans in completion order.
+func (t *Tracer) Spans() []Span { return append([]Span(nil), t.spans...) }
+
+// queueObserver adapts a lane to cl.Observer.
+type queueObserver struct {
+	t    *Tracer
+	lane string
+}
+
+// Observer returns a cl.Observer that records each command executed by the
+// observed queue as a span on the given lane.
+func (t *Tracer) Observer(lane string) cl.Observer { return &queueObserver{t: t, lane: lane} }
+
+func (o *queueObserver) CommandStarted(_ *cl.CommandQueue, label string, at sim.Time) {
+	o.t.open[o.lane] = Span{Lane: o.lane, Label: label, Start: at}
+}
+
+func (o *queueObserver) CommandFinished(_ *cl.CommandQueue, label string, at sim.Time) {
+	sp, ok := o.t.open[o.lane]
+	if !ok || sp.Label != label {
+		sp = Span{Lane: o.lane, Label: label, Start: at}
+	}
+	delete(o.t.open, o.lane)
+	sp.End = at
+	o.t.spans = append(o.t.spans, sp)
+}
+
+// classify maps a command label to a single timeline glyph:
+// K kernel, S send, R receive, D device↔host copy (read/write/map),
+// P pack/unpack, M marker, o other.
+func classify(label string) byte {
+	switch {
+	case strings.HasPrefix(label, "kernel"):
+		return 'K'
+	case strings.HasPrefix(label, "clmpi.send"):
+		return 'S'
+	case strings.HasPrefix(label, "clmpi.recv"):
+		return 'R'
+	case strings.HasPrefix(label, "read"), strings.HasPrefix(label, "write"),
+		strings.HasPrefix(label, "map"), strings.HasPrefix(label, "unmap"):
+		return 'D'
+	case strings.HasPrefix(label, "pack"), strings.HasPrefix(label, "unpack"):
+		return 'P'
+	case strings.HasPrefix(label, "marker"):
+		return 0 // invisible
+	default:
+		return 'o'
+	}
+}
+
+// Render draws all lanes as an ASCII Gantt chart of the given width. Spans
+// are drawn with their classification glyph; overlaps within a lane keep the
+// later glyph. The scale line marks time in milliseconds.
+func (t *Tracer) Render(width int) string {
+	if len(t.spans) == 0 {
+		return "(no spans)\n"
+	}
+	var tmax sim.Time
+	lanes := map[string][]Span{}
+	for _, sp := range t.spans {
+		lanes[sp.Lane] = append(lanes[sp.Lane], sp)
+		if sp.End > tmax {
+			tmax = sp.End
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	names := make([]string, 0, len(lanes))
+	nameW := 0
+	for n := range lanes {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	scale := float64(width) / float64(tmax)
+	for _, n := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range lanes[n] {
+			g := classify(sp.Label)
+			if g == 0 {
+				continue
+			}
+			from := int(float64(sp.Start) * scale)
+			to := int(float64(sp.End) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			for i := from; i < to; i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, n, row)
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s\n", nameW, "", width, fmt.Sprintf("%.2fms", float64(tmax)/1e6))
+	fmt.Fprintf(&b, "%-*s  legend: K kernel, S clmpi-send, R clmpi-recv, D pcie-copy, P pack/unpack\n", nameW, "")
+	return b.String()
+}
+
+// BusyTime sums the span time on one lane, for assertions about overlap.
+func (t *Tracer) BusyTime(lane string) (total sim.Time) {
+	for _, sp := range t.spans {
+		if sp.Lane == lane {
+			total += sp.End - sp.Start
+		}
+	}
+	return total
+}
+
+// Utilization summarizes each lane's busy fraction of the traced interval,
+// the quantitative companion to the Gantt chart: in the paper's Fig. 4
+// terms, high compute-lane utilization with concurrent comm-lane activity
+// is the overlapped case (c), while comm time appearing as compute-lane
+// idle is case (a).
+func (t *Tracer) Utilization() string {
+	if len(t.spans) == 0 {
+		return "(no spans)\n"
+	}
+	var tmax sim.Time
+	lanes := map[string]sim.Time{}
+	for _, sp := range t.spans {
+		lanes[sp.Lane] += sp.End - sp.Start
+		if sp.End > tmax {
+			tmax = sp.End
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	names := make([]string, 0, len(lanes))
+	nameW := 0
+	for n := range lanes {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-*s  busy %6.1f%%  (%v of %v)\n",
+			nameW, n, 100*float64(lanes[n])/float64(tmax), lanes[n], tmax)
+	}
+	return b.String()
+}
