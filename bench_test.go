@@ -179,6 +179,30 @@ func BenchmarkFig4Traces(b *testing.B) {
 	}
 }
 
+// --- Observability: overlap ratio and link utilization ------------------------
+
+// BenchmarkObservability runs instrumented two-node Himeno runs and reports
+// the observability layer's derived metrics: the fraction of communication
+// time hidden under kernels (overlap) and the peak NIC utilization. The
+// clMPI implementation should overlap substantially; the serial one not at
+// all.
+func BenchmarkObservability(b *testing.B) {
+	for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI} {
+		b.Run(impl.String(), func(b *testing.B) {
+			var overlap, nicUtil float64
+			for i := 0; i < b.N; i++ {
+				trc, _, err := bench.TraceHimeno(cluster.Cichlid(), impl, himeno.SizeS, 2, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				overlap, nicUtil = bench.ObservedOverlap(trc)
+			}
+			b.ReportMetric(overlap, "overlap")
+			b.ReportMetric(100*nicUtil, "nic_util_%")
+		})
+	}
+}
+
 // --- Ablations (design decisions called out in DESIGN.md) --------------------
 
 // BenchmarkAblationAutoVsFixed quantifies §V-B's automatic selection: Auto

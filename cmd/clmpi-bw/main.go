@@ -3,10 +3,16 @@
 // mapped, and pipelined(N) data-transfer implementations, swept over
 // message sizes, on either simulated system.
 //
+// With -trace and/or -metrics, the tool additionally runs one fully
+// instrumented transfer (-strategy, -msg) and exports its unified event
+// stream — command queues, MPI protocol phases, link/NIC/PCIe occupancy —
+// as Chrome trace_event JSON and/or its metrics registry.
+//
 // Usage:
 //
 //	clmpi-bw -system cichlid
 //	clmpi-bw -system ricc
+//	clmpi-bw -system ricc -strategy pipelined -msg 33554432 -trace out.json -metrics
 package main
 
 import (
@@ -15,11 +21,17 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/clmpi"
 	"repro/internal/cluster"
+	"repro/internal/trace"
 )
 
 func main() {
 	system := flag.String("system", "ricc", "system to simulate: cichlid or ricc")
+	traceOut := flag.String("trace", "", "write one traced transfer as Chrome trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
+	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped or pipelined")
+	msg := flag.Int64("msg", 4<<20, "message size in bytes of the traced transfer")
 	flag.Parse()
 	sys, ok := cluster.Systems()[*system]
 	if !ok {
@@ -34,4 +46,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(bench.FormatTable(headers, rows))
+
+	if *traceOut == "" && !*metrics {
+		return
+	}
+	st, err := clmpi.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+		os.Exit(2)
+	}
+	trc := trace.New()
+	bw, err := bench.MeasureP2PTraced(sys, st, 0, *msg, trc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: traced transfer: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntraced transfer: %s, %d bytes, %.1f MB/s\n", st, *msg, bw/1e6)
+	if *metrics {
+		fmt.Printf("\n%s", trc.Bus().Metrics().Format())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trc.Bus().WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (load in chrome://tracing or Perfetto): %s\n", *traceOut)
+	}
 }

@@ -4,10 +4,17 @@
 // simulated system, annotated with the serial implementation's
 // computation/communication ratio.
 //
+// With -trace and/or -metrics, the tool additionally runs one fully
+// instrumented clMPI configuration (at -trace-nodes nodes) and exports its
+// unified event stream — command queues, MPI protocol, link occupancy — as
+// Chrome trace_event JSON and/or its metrics registry (link utilization,
+// overlap per iteration, strategy selections).
+//
 // Usage:
 //
 //	clmpi-himeno -system cichlid -size M -iters 6
 //	clmpi-himeno -system ricc
+//	clmpi-himeno -system cichlid -size S -iters 2 -trace out.json -metrics
 package main
 
 import (
@@ -25,6 +32,9 @@ func main() {
 	sizeName := flag.String("size", "M", "Himeno size: XS, S, M or L")
 	iters := flag.Int("iters", 6, "Jacobi iterations to time")
 	all := flag.Bool("all", false, "include the GPU-aware MPI (§II) and out-of-order clMPI implementations")
+	traceOut := flag.String("trace", "", "write a traced clMPI run as Chrome trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the traced clMPI run's metrics registry")
+	traceNodes := flag.Int("trace-nodes", 2, "node count of the traced run (-trace/-metrics)")
 	flag.Parse()
 	sys, ok := cluster.Systems()[*system]
 	if !ok {
@@ -49,4 +59,36 @@ func main() {
 	}
 	headers, rows := bench.Fig9Table(points)
 	fmt.Print(bench.FormatTable(headers, rows))
+
+	if *traceOut == "" && !*metrics {
+		return
+	}
+	trc, _, err := bench.TraceHimeno(sys, himeno.CLMPI, size, *traceNodes, *iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: traced run: %v\n", err)
+		os.Exit(1)
+	}
+	overlap, nicUtil := bench.ObservedOverlap(trc)
+	fmt.Printf("\ntraced clMPI run: %d nodes, overlap ratio %.3f, peak NIC utilization %.1f%%\n",
+		*traceNodes, overlap, 100*nicUtil)
+	if *metrics {
+		fmt.Printf("\n%s", trc.Bus().Metrics().Format())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trc.Bus().WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (load in chrome://tracing or Perfetto): %s\n", *traceOut)
+	}
 }

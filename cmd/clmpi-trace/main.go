@@ -5,9 +5,16 @@
 // variant shows communication commands (S/R) overlapping kernels (K) with
 // the host thread blocked in neither.
 //
+// Beyond the ASCII panels, the observability layer can export the clMPI
+// panel's full event stream — command queues, MPI protocol phases, and
+// link/NIC/PCIe occupancy — as Chrome trace_event JSON (open it in
+// chrome://tracing or https://ui.perfetto.dev), and print the run's metrics
+// registry (link utilization, eager/rendezvous counts, overlap ratios).
+//
 // Usage:
 //
 //	clmpi-trace -size S -iters 2
+//	clmpi-trace -size S -iters 2 -trace out.json -metrics
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 func main() {
 	sizeName := flag.String("size", "S", "Himeno size: XS, S, M or L")
 	iters := flag.Int("iters", 2, "iterations to trace")
+	traceOut := flag.String("trace", "", "write the clMPI panel's events as Chrome trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print each panel's metrics registry")
 	flag.Parse()
 	size, err := himeno.SizeByName(*sizeName)
 	if err != nil {
@@ -36,11 +45,31 @@ func main() {
 		{"(b) hand-optimized (host-blocked overlap)", himeno.HandOpt},
 		{"(c) clMPI (event-driven overlap)", himeno.CLMPI},
 	} {
-		out, err := bench.Fig4(impl.impl, size, *iters)
+		trc, out, err := bench.Fig4Traced(impl.impl, size, *iters)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("Figure 4%s — Himeno %s, 2 nodes on Cichlid, %d iterations\n\n%s\n", impl.panel, size.Name, *iters, out)
+		if *metrics {
+			fmt.Printf("metrics %s\n%s\n", impl.panel, trc.Bus().Metrics().Format())
+		}
+		if *traceOut != "" && impl.impl == himeno.CLMPI {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
+				os.Exit(1)
+			}
+			if err := trc.Bus().WriteChrome(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace (load in chrome://tracing or Perfetto): %s\n", *traceOut)
+		}
 	}
 }

@@ -8,13 +8,9 @@ package bench
 import (
 	"fmt"
 	"strings"
-	"time"
 
-	"repro/internal/cl"
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
-	"repro/internal/mpi"
-	"repro/internal/sim"
 )
 
 // FormatTable renders rows as an aligned text table.
@@ -57,47 +53,9 @@ func FormatTable(headers []string, rows [][]string) string {
 // MeasureP2P measures the sustained point-to-point bandwidth (bytes/s) of
 // one device→device transfer of size bytes under the given strategy — one
 // sample of Figure 8. block is the pipelined(N) buffer size (ignored by the
-// one-shot strategies).
+// one-shot strategies). See MeasureP2PTraced for the instrumented variant.
 func MeasureP2P(sys cluster.System, st clmpi.Strategy, block, size int64) (float64, error) {
-	eng := sim.NewEngine()
-	clus := cluster.New(eng, sys, 2)
-	world := mpi.NewWorld(clus)
-	opts := clmpi.Options{Strategy: st}
-	if block > 0 {
-		opts.PipelineBlock = block
-	}
-	fab := clmpi.New(world, opts)
-	var elapsed time.Duration
-	var firstErr error
-	world.LaunchRanks("bw", func(p *sim.Proc, ep *mpi.Endpoint) {
-		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("bw%d", ep.Rank()))
-		rt := fab.Attach(ctx, ep)
-		q := ctx.NewQueue(fmt.Sprintf("bwq%d", ep.Rank()))
-		buf, err := ctx.CreateBuffer("payload", size)
-		if err != nil {
-			firstErr = err
-			return
-		}
-		if ep.Rank() == 0 {
-			start := p.Now()
-			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {
-				firstErr = err
-				return
-			}
-			elapsed = p.Now().Sub(start)
-		} else {
-			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, world.Comm(), nil); err != nil {
-				firstErr = err
-			}
-		}
-	})
-	if err := eng.Run(); err != nil {
-		return 0, err
-	}
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	return float64(size) / elapsed.Seconds(), nil
+	return MeasureP2PTraced(sys, st, block, size, nil)
 }
 
 // Fig8Impl is one line of Figure 8.

@@ -125,13 +125,17 @@ func Fig9Table(points []Fig9Point) (headers []string, rows [][]string) {
 // Fig4 reproduces the paper's timeline diagrams: a two-node Himeno run of
 // the given implementation, traced and rendered as ASCII Gantt lanes.
 func Fig4(impl himeno.Impl, size himeno.Size, iters int) (string, error) {
-	trc := trace.New()
-	_, err := himeno.Run(himeno.Config{
-		System: cluster.Cichlid(), Nodes: 2, Size: size, Iters: iters,
-		Impl: impl, Mode: himeno.OfficialInit, Trace: trc,
-	})
+	_, out, err := Fig4Traced(impl, size, iters)
+	return out, err
+}
+
+// Fig4Traced is Fig4 returning the tracer as well, so callers can export
+// the same run as Chrome trace_event JSON or read its metrics registry
+// (summarized before return).
+func Fig4Traced(impl himeno.Impl, size himeno.Size, iters int) (*trace.Tracer, string, error) {
+	trc, _, err := TraceHimeno(cluster.Cichlid(), impl, size, 2, iters)
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
-	return trc.Render(100) + "\n" + trc.Utilization(), nil
+	return trc, trc.Render(100) + "\n" + trc.Utilization(), nil
 }

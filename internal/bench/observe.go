@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TraceHimeno runs one fully instrumented Himeno configuration: command
+// queues, the MPI protocol, and the cluster links all record onto the
+// returned tracer's bus, and the metrics registry is summarized (link and
+// queue utilization gauges, overlap ratios). This is the data source behind
+// the -trace/-metrics flags of cmd/clmpi-trace and cmd/clmpi-himeno and the
+// observability benchmark metrics.
+func TraceHimeno(sys cluster.System, impl himeno.Impl, size himeno.Size, nodes, iters int) (*trace.Tracer, *himeno.Result, error) {
+	trc := trace.New()
+	res, err := himeno.Run(himeno.Config{
+		System: sys, Nodes: nodes, Size: size, Iters: iters,
+		Impl: impl, Mode: himeno.OfficialInit, Trace: trc,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	trc.Bus().Summarize()
+	return trc, res, nil
+}
+
+// ObservedOverlap extracts the headline observability numbers from a
+// summarized bus: the communication/computation overlap ratio and the peak
+// NIC-path utilization across all nodes (lanes named node*.tx / node*.rx).
+func ObservedOverlap(trc *trace.Tracer) (overlap, nicUtil float64) {
+	m := trc.Bus().Metrics()
+	overlap, _ = m.Gauge("overlap.ratio")
+	m.EachGauge(func(name string, v float64) {
+		if strings.HasSuffix(name, ".tx.util") || strings.HasSuffix(name, ".rx.util") {
+			if v > nicUtil {
+				nicUtil = v
+			}
+		}
+	})
+	return overlap, nicUtil
+}
+
+// MeasureP2PTraced is MeasureP2P with full observability: when trc is
+// non-nil, queues, MPI protocol, and cluster links record onto its bus and
+// the metrics registry is summarized after the run.
+func MeasureP2PTraced(sys cluster.System, st clmpi.Strategy, block, size int64, trc *trace.Tracer) (float64, error) {
+	eng := sim.NewEngine()
+	clus := cluster.New(eng, sys, 2)
+	world := mpi.NewWorld(clus)
+	opts := clmpi.Options{Strategy: st}
+	if block > 0 {
+		opts.PipelineBlock = block
+	}
+	fab := clmpi.New(world, opts)
+	if trc != nil {
+		trc.Instrument(clus, world, fab)
+	}
+	var elapsed time.Duration
+	var firstErr error
+	world.LaunchRanks("bw", func(p *sim.Proc, ep *mpi.Endpoint) {
+		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("bw%d", ep.Rank()))
+		rt := fab.Attach(ctx, ep)
+		q := ctx.NewQueue(fmt.Sprintf("bwq%d", ep.Rank()))
+		if trc != nil {
+			q.SetObserver(trc.Observer(fmt.Sprintf("bwq%d", ep.Rank())))
+		}
+		buf, err := ctx.CreateBuffer("payload", size)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if ep.Rank() == 0 {
+			start := p.Now()
+			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {
+				firstErr = err
+				return
+			}
+			elapsed = p.Now().Sub(start)
+		} else {
+			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, world.Comm(), nil); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if trc != nil {
+		trc.Bus().Summarize()
+	}
+	return float64(size) / elapsed.Seconds(), nil
+}

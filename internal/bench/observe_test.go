@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/trace"
+)
+
+// traceCLMPI runs the reference instrumented configuration and returns the
+// tracer plus its Chrome export.
+func traceCLMPI(t *testing.T) (*trace.Tracer, []byte) {
+	t.Helper()
+	trc, _, err := TraceHimeno(cluster.Cichlid(), himeno.CLMPI, himeno.SizeXS, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trc.Bus().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return trc, buf.Bytes()
+}
+
+func TestTraceHimenoAllLayersPresent(t *testing.T) {
+	trc, out := traceCLMPI(t)
+	layers := map[string]int{}
+	for _, ev := range trc.Bus().Events() {
+		layers[ev.Layer]++
+	}
+	for _, layer := range []string{trace.LayerCL, trace.LayerMPI, trace.LayerCluster, trace.LayerApp} {
+		if layers[layer] == 0 {
+			t.Errorf("no events from layer %q (have %v)", layer, layers)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("Chrome export missing traceEvents array")
+	}
+}
+
+func TestTraceHimenoMetrics(t *testing.T) {
+	trc, _ := traceCLMPI(t)
+	m := trc.Bus().Metrics()
+	if v, ok := m.Counter("cl.commands"); !ok || v <= 0 {
+		t.Fatalf("cl.commands = %v, %v", v, ok)
+	}
+	eager, _ := m.Counter("mpi.eager")
+	rendezvous, _ := m.Counter("mpi.rendezvous")
+	if eager+rendezvous <= 0 {
+		t.Fatalf("no MPI sends counted (eager=%v rendezvous=%v)", eager, rendezvous)
+	}
+	if h := m.Hist("mpi.msg_bytes"); h == nil || h.Count <= 0 {
+		t.Fatal("mpi.msg_bytes histogram empty")
+	}
+	if _, ok := m.Gauge("overlap.ratio"); !ok {
+		t.Fatal("overlap.ratio gauge missing after Summarize")
+	}
+	if _, _, ok := m.MaxGauge("link."); !ok {
+		t.Fatal("no link utilization gauges")
+	}
+	overlap, nicUtil := ObservedOverlap(trc)
+	if overlap <= 0 || overlap > 1 {
+		t.Fatalf("clMPI overlap ratio = %v, want in (0, 1]", overlap)
+	}
+	if nicUtil <= 0 || nicUtil > 1 {
+		t.Fatalf("NIC utilization = %v, want in (0, 1]", nicUtil)
+	}
+}
+
+// TestTraceDeterminism is the acceptance gate for the exporter: two
+// identical-seed simulations must produce byte-identical Chrome traces and
+// byte-identical metrics renderings.
+func TestTraceDeterminism(t *testing.T) {
+	trcA, outA := traceCLMPI(t)
+	trcB, outB := traceCLMPI(t)
+	if !bytes.Equal(outA, outB) {
+		t.Fatal("two identical runs produced different Chrome traces")
+	}
+	if a, b := trcA.Bus().Metrics().Format(), trcB.Bus().Metrics().Format(); a != b {
+		t.Fatalf("metrics renderings differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMeasureP2PTracedMatchesUntraced(t *testing.T) {
+	sys := cluster.RICC()
+	plain, err := MeasureP2P(sys, clmpi.Pipelined, 1<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := trace.New()
+	traced, err := MeasureP2PTraced(sys, clmpi.Pipelined, 1<<20, 8<<20, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("instrumentation changed the measurement: %v vs %v", plain, traced)
+	}
+	layers := map[string]bool{}
+	for _, ev := range trc.Bus().Events() {
+		layers[ev.Layer] = true
+	}
+	if !layers[trace.LayerCL] || !layers[trace.LayerMPI] || !layers[trace.LayerCluster] {
+		t.Fatalf("traced transfer missing layers: %v", layers)
+	}
+	if _, ok := trc.Bus().Metrics().Counter("clmpi.strategy.pipelined"); !ok {
+		t.Fatal("strategy selection not counted")
+	}
+}

@@ -139,6 +139,14 @@ type transferPlan struct {
 // plan resolves the strategy and chunking for a transfer of size bytes on
 // the given system.
 func (f *Fabric) plan(size int64, sys *cluster.System) transferPlan {
+	pl := f.resolvePlan(size, sys)
+	if f.onPlan != nil {
+		f.onPlan(pl.strategy, size)
+	}
+	return pl
+}
+
+func (f *Fabric) resolvePlan(size int64, sys *cluster.System) transferPlan {
 	st := f.opts.Strategy
 	b := f.opts.PipelineBlock
 	if st == Auto {

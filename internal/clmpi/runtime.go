@@ -15,7 +15,17 @@ type Fabric struct {
 	world *mpi.World
 	opts  Options
 	rts   map[int]*Runtime
+
+	// onPlan, when set, is called for every transfer-plan resolution with
+	// the chosen strategy and message size. Each message resolves a plan on
+	// both endpoints, so a point-to-point transfer reports twice.
+	onPlan func(st Strategy, size int64)
 }
+
+// SetPlanObserver installs a callback invoked on every transfer-plan
+// resolution (nil to remove); the observability layer uses it to count
+// strategy selections per message size.
+func (f *Fabric) SetPlanObserver(fn func(st Strategy, size int64)) { f.onPlan = fn }
 
 // New creates the extension fabric for a world and registers its MPI_CL_MEM
 // handler. All ranks share the options (see Options). Negative option values

@@ -234,6 +234,22 @@ func New(e *sim.Engine, sys System, n int) *Cluster {
 	return c
 }
 
+// Observe installs o on every contended link of the cluster: each node's
+// NIC transmit/receive paths and each GPU unit's PCIe directions and
+// compute unit. Call it before the simulation runs; GPUs added afterwards
+// via AddGPU are not covered retroactively.
+func (c *Cluster) Observe(o sim.LinkObserver) {
+	for _, nd := range c.Nodes {
+		nd.TX.SetObserver(o)
+		nd.RX.SetObserver(o)
+		for _, u := range nd.GPUs {
+			u.H2D.SetObserver(o)
+			u.D2H.SetObserver(o)
+			u.GPUCompute.SetObserver(o)
+		}
+	}
+}
+
 // PCIeTime reports how long a host↔device transfer of n bytes through memory
 // of the given kind occupies the PCIe link (excluding queueing and excluding
 // one-time setup such as pinning).

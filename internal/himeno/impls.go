@@ -136,6 +136,7 @@ func (rk *rank) hostExchangeBoth(p *sim.Proc, q *cl.CommandQueue, comm *mpi.Comm
 func (rk *rank) runSerial(p *sim.Proc, comm *mpi.Comm, iters int) error {
 	q := rk.newQueue(fmt.Sprintf("serial.q%d", rk.ep.Rank()))
 	for it := 0; it < iters; it++ {
+		rk.markIter(p, it)
 		rk.gosa = 0
 		t0 := p.Now()
 		k := rk.jacobiKernel("jacobi", rk.p, rk.wrk, 1, rk.own+1)
@@ -185,6 +186,7 @@ func (rk *rank) runHandOpt(p *sim.Proc, comm *mpi.Comm, iters int) error {
 	qx := rk.newQueue(fmt.Sprintf("handopt.qx%d", rk.ep.Rank()))
 	firstDir, secondDir, firstA := rk.stageOrder()
 	for it := 0; it < iters; it++ {
+		rk.markIter(p, it)
 		rk.gosa = 0
 		// Stage 1: kernel over the first half ∥ host-driven exchange of
 		// the other half's halo (on p, carrying last iteration's values).
@@ -229,6 +231,7 @@ func (rk *rank) runCLMPI(p *sim.Proc, comm *mpi.Comm, iters int) error {
 	pb := rk.size.planeBytes()
 
 	for it := 0; it < iters; it++ {
+		rk.markIter(p, it)
 		rk.gosa = 0
 
 		// First-stage exchange, on p (no dependencies: the planes carry
@@ -357,6 +360,7 @@ func (rk *rank) runGPUAware(p *sim.Proc, comm *mpi.Comm, iters int) error {
 	qx := rk.newQueue(fmt.Sprintf("gpuaware.qx%d", rk.ep.Rank()))
 	firstDir, secondDir, firstA := rk.stageOrder()
 	for it := 0; it < iters; it++ {
+		rk.markIter(p, it)
 		rk.gosa = 0
 		f1, t1 := rk.kernelRange(firstA)
 		if _, err := qc.EnqueueNDRangeKernel(rk.jacobiKernel("jacobi1", rk.p, rk.wrk, f1, t1), nil, nil); err != nil {
@@ -438,6 +442,7 @@ func (rk *rank) runCLMPIOutOfOrder(p *sim.Proc, comm *mpi.Comm, iters int) error
 	// wait for it explicitly (the in-order variants get this for free).
 	var prevIter *cl.Event
 	for it := 0; it < iters; it++ {
+		rk.markIter(p, it)
 		rk.gosa = 0
 		var iterEvents []*cl.Event
 		dep := func(evs ...*cl.Event) []*cl.Event {

@@ -22,6 +22,15 @@ func (rk *rank) newQueue(name string) *cl.CommandQueue {
 	return q
 }
 
+// markIter records an app-layer iteration boundary on the trace bus, the
+// anchor for per-iteration overlap metrics.
+func (rk *rank) markIter(p *sim.Proc, it int) {
+	if rk.trc != nil {
+		rk.trc.Bus().Instant(trace.LayerApp, fmt.Sprintf("rank%d", rk.ep.Rank()),
+			fmt.Sprintf("iter %d", it), p.Now())
+	}
+}
+
 // Impl selects one of the paper's three Himeno implementations.
 type Impl int
 

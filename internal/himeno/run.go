@@ -69,6 +69,11 @@ func Run(cfg Config) (*Result, error) {
 	clus := cluster.New(eng, cfg.System, cfg.Nodes)
 	world := mpi.NewWorld(clus)
 	fab := clmpi.New(world, cfg.Options)
+	if cfg.Trace != nil {
+		// Feed all three runtime layers (queues attach per-queue in
+		// newQueue) into the tracer's bus.
+		cfg.Trace.Instrument(clus, world, fab)
+	}
 
 	ranks := make([]*rank, cfg.Nodes)
 	elapsed := make([]time.Duration, cfg.Nodes)

@@ -98,6 +98,8 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 	default:
 		msg.sendBuf = buf // rendezvous: transfer happens at match time
 	}
+	w.observe(MsgEvent{Kind: MsgSendPosted, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: w.eng.Now()})
 	comm.pendingMsgs = append(comm.pendingMsgs, msg)
 	comm.notifyProbers(msg)
 	comm.matchNewMessage(msg)
@@ -135,6 +137,8 @@ func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
 		src:   src, tag: tag, seq: w.seq, buf: buf,
 		req: newRequest(w.eng, fmt.Sprintf("irecv %d<-%d tag %d", ep.rank, src, tag)),
 	}
+	w.observe(MsgEvent{Kind: MsgRecvPosted, Src: src, Dst: ep.rank, Tag: tag,
+		Seq: rop.seq, Bytes: len(buf), At: w.eng.Now()})
 	// Scan pending messages in arrival order for the first match
 	// (non-overtaking per sender).
 	for i, msg := range comm.pendingMsgs {

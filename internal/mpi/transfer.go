@@ -50,6 +50,13 @@ func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 // deliver finalizes a matched (message, receive) pair.
 func (c *Comm) deliver(msg *message, rop *recvOp) {
 	w := c.world
+	now := w.eng.Now()
+	delivered := func(at sim.Time) MsgEvent {
+		return MsgEvent{Kind: MsgDelivered, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+			Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: at}
+	}
+	w.observe(MsgEvent{Kind: MsgMatched, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: now})
 	st := Status{Source: msg.src, Tag: msg.tag, Count: msg.size}
 	if msg.size > len(rop.buf) {
 		// Truncation is the receiver's error; the sender completes
@@ -61,6 +68,7 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 			msg.req.complete(Status{}, nil)
 			rop.req.complete(st, err)
 		}
+		w.observe(delivered(now))
 		return
 	}
 	if msg.eager {
@@ -71,6 +79,11 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 		msg.arrived.OnFire(func(at sim.Time, _ any) {
 			copy(buf, msg.payload)
 			req.status = st
+			if at < now {
+				// Payload beat the receive: delivery is at match time.
+				at = now
+			}
+			w.observe(delivered(at))
 		})
 		msg.arrived.Chain(req.done)
 		return
@@ -81,6 +94,7 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 		copy(rop.buf, msg.sendBuf)
 		msg.req.completeAfter(d, Status{}, nil)
 		rop.req.completeAfter(d, st, nil)
+		w.observe(delivered(now.Add(d)))
 		return
 	}
 	// Rendezvous: run the wire transfer now that both sides exist.
@@ -92,6 +106,7 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 		// Sender's buffer is reusable once the NIC is done with it.
 		msg.req.complete(Status{}, nil)
 		rop.req.completeAfter(lat, st, nil)
+		w.observe(delivered(tp.Now().Add(lat)))
 	})
 }
 

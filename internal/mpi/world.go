@@ -10,12 +10,13 @@ import (
 // World is one MPI job: a set of ranks mapped 1:1 onto cluster nodes,
 // sharing a fabric. It owns the world communicator.
 type World struct {
-	eng   *sim.Engine
-	clus  *cluster.Cluster
-	size  int
-	world *Comm
-	hook  CLMemHook
-	seq   uint64 // global message sequence for deterministic tie-breaks
+	eng    *sim.Engine
+	clus   *cluster.Cluster
+	size   int
+	world  *Comm
+	hook   CLMemHook
+	msgObs MsgObserver
+	seq    uint64 // global message sequence for deterministic tie-breaks
 }
 
 // NewWorld creates a job spanning every node of the cluster.
@@ -48,6 +49,65 @@ type CLMemHook interface {
 
 // RegisterCLMemHook installs the CL_MEM handler for this world.
 func (w *World) RegisterCLMemHook(h CLMemHook) { w.hook = h }
+
+// MsgEventKind names a message protocol phase.
+type MsgEventKind int
+
+const (
+	// MsgSendPosted fires when a send enters the transport (Isend/Send).
+	MsgSendPosted MsgEventKind = iota
+	// MsgRecvPosted fires when a receive is posted (Irecv/Recv).
+	MsgRecvPosted
+	// MsgMatched fires when a message pairs with a posted receive.
+	MsgMatched
+	// MsgDelivered fires when the receive completes (payload in place).
+	MsgDelivered
+)
+
+func (k MsgEventKind) String() string {
+	switch k {
+	case MsgSendPosted:
+		return "send-posted"
+	case MsgRecvPosted:
+		return "recv-posted"
+	case MsgMatched:
+		return "matched"
+	case MsgDelivered:
+		return "delivered"
+	default:
+		return fmt.Sprintf("MsgEventKind(%d)", int(k))
+	}
+}
+
+// MsgEvent describes one protocol phase of one message. Seq identifies the
+// message (or, for MsgRecvPosted, the receive operation) across events of
+// one world. For MsgRecvPosted, Src may be AnySource and Tag AnyTag.
+type MsgEvent struct {
+	Kind     MsgEventKind
+	Src, Dst int
+	Tag      int
+	Seq      uint64
+	Bytes    int
+	Eager    bool // eager protocol (meaningful from MsgSendPosted on)
+	At       sim.Time
+}
+
+// MsgObserver receives message protocol-phase notifications from a world.
+// The observability layer (internal/trace) uses this to build per-message
+// timelines and eager/rendezvous metrics.
+type MsgObserver interface {
+	MessageEvent(ev MsgEvent)
+}
+
+// SetMsgObserver installs the protocol observer (nil to remove).
+func (w *World) SetMsgObserver(o MsgObserver) { w.msgObs = o }
+
+// observe forwards ev to the observer when one is installed.
+func (w *World) observe(ev MsgEvent) {
+	if w.msgObs != nil {
+		w.msgObs.MessageEvent(ev)
+	}
+}
 
 // Endpoint is a rank's handle on the runtime. All calls on one endpoint may
 // come from different simulated processes of that rank (host thread plus

@@ -18,7 +18,20 @@ type Link struct {
 	mu    *Mutex
 	busy  time.Duration // total occupied time, for utilization reporting
 	moved int64         // total bytes transferred
+	obs   LinkObserver  // optional occupancy observer
 }
+
+// LinkObserver receives one notification per completed occupancy interval
+// of an observed link: a transfer's serialization time, an Occupy hold, or
+// an externally timed AddBusy charge. The observability layer
+// (internal/trace) uses this to build per-resource timelines and
+// utilization metrics.
+type LinkObserver interface {
+	LinkBusy(link string, bytes int64, start, end Time)
+}
+
+// SetObserver installs an occupancy observer (nil to remove).
+func (l *Link) SetObserver(o LinkObserver) { l.obs = o }
 
 // NewLink creates a link with the given bandwidth in bytes per second.
 func NewLink(e *Engine, name string, bytesPerSecond float64) *Link {
@@ -53,24 +66,33 @@ func (l *Link) Transfer(p *Proc, n int64, extra time.Duration) Time {
 	}
 	d := l.SerializationTime(n) + extra
 	l.mu.Lock(p)
+	start := p.Now()
 	if d > 0 {
 		p.Sleep(d)
 	}
 	l.busy += d
 	l.moved += n
 	l.mu.Unlock(p)
-	return p.Now()
+	end := p.Now()
+	if l.obs != nil && end > start {
+		l.obs.LinkBusy(l.name, n, start, end)
+	}
+	return end
 }
 
 // Occupy holds the link for duration d without accounting any bytes, for
 // modelling control operations that serialize on the resource.
 func (l *Link) Occupy(p *Proc, d time.Duration) {
 	l.mu.Lock(p)
+	start := p.Now()
 	if d > 0 {
 		p.Sleep(d)
 	}
 	l.busy += d
 	l.mu.Unlock(p)
+	if l.obs != nil && d > 0 {
+		l.obs.LinkBusy(l.name, 0, start, p.Now())
+	}
 }
 
 // Lock acquires exclusive use of the link (FIFO). Use with Unlock and
@@ -83,11 +105,18 @@ func (l *Link) Lock(p *Proc) { l.mu.Lock(p) }
 func (l *Link) Unlock(p *Proc) { l.mu.Unlock(p) }
 
 // AddBusy records utilization accounting for externally timed occupancy.
+// The occupancy interval reported to an observer is the d preceding the
+// current instant, matching how callers charge after sleeping (see
+// mpi wireTransfer).
 func (l *Link) AddBusy(d time.Duration, bytes int64) {
 	l.eng.mu.Lock()
-	defer l.eng.mu.Unlock()
 	l.busy += d
 	l.moved += bytes
+	now := l.eng.now
+	l.eng.mu.Unlock()
+	if l.obs != nil && d > 0 {
+		l.obs.LinkBusy(l.name, bytes, now.Add(-d), now)
+	}
 }
 
 // Stats reports the total occupied time and bytes moved so far.

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Layer names partition the event stream by the subsystem that produced it.
+// The Chrome exporter maps each layer to one process, so the three runtime
+// layers the paper reasons about (device queues, MPI protocol, hardware
+// links) appear side by side in the viewer.
+const (
+	// LayerCL carries OpenCL command-queue lifecycle spans (internal/cl).
+	LayerCL = "cl"
+	// LayerMPI carries message protocol-phase spans (internal/mpi).
+	LayerMPI = "mpi"
+	// LayerCluster carries link/NIC/PCIe occupancy spans (internal/cluster
+	// resources, via sim.Link observers).
+	LayerCluster = "cluster"
+	// LayerApp carries application-level markers such as Himeno iteration
+	// boundaries.
+	LayerApp = "app"
+)
+
+// Phase distinguishes event shapes, mirroring the Chrome trace_event
+// phases the exporter emits.
+type Phase byte
+
+const (
+	// PhaseSpan is a complete interval [Start, End].
+	PhaseSpan Phase = 'X'
+	// PhaseInstant is a point event at Start (End == Start).
+	PhaseInstant Phase = 'i'
+)
+
+// Arg is one ordered key/value annotation on an event. Values are
+// pre-stringified so recording is allocation-cheap and export is
+// deterministic (no map iteration anywhere).
+type Arg struct {
+	Key string
+	Val string
+}
+
+// A builds a string argument.
+func A(key, val string) Arg { return Arg{Key: key, Val: val} }
+
+// AInt builds an integer argument.
+func AInt(key string, val int64) Arg { return Arg{Key: key, Val: fmt.Sprintf("%d", val)} }
+
+// Event is one record on the bus.
+type Event struct {
+	Layer string
+	Lane  string // resource within the layer: queue name, link name, rank pair
+	Name  string
+	Ph    Phase
+	Start sim.Time
+	End   sim.Time // == Start for instants
+	Args  []Arg
+}
+
+// Bus is the unified observability collector: every instrumented layer
+// appends events here, and the exporters (ASCII Gantt, Chrome JSON) and the
+// metrics registry read from it. Like the rest of the simulation it relies
+// on the DES single-runner property and is not safe for host-level
+// concurrency.
+type Bus struct {
+	events  []Event
+	metrics *Metrics
+}
+
+// NewBus creates an empty bus with an empty metrics registry.
+func NewBus() *Bus { return &Bus{metrics: NewMetrics()} }
+
+// Metrics returns the bus's metrics registry.
+func (b *Bus) Metrics() *Metrics { return b.metrics }
+
+// Span records a completed interval on a lane.
+func (b *Bus) Span(layer, lane, name string, start, end sim.Time, args ...Arg) {
+	if end < start {
+		start, end = end, start
+	}
+	b.events = append(b.events, Event{Layer: layer, Lane: lane, Name: name, Ph: PhaseSpan, Start: start, End: end, Args: args})
+}
+
+// Instant records a point event on a lane.
+func (b *Bus) Instant(layer, lane, name string, at sim.Time, args ...Arg) {
+	b.events = append(b.events, Event{Layer: layer, Lane: lane, Name: name, Ph: PhaseInstant, Start: at, End: at, Args: args})
+}
+
+// Events returns all recorded events in record order.
+func (b *Bus) Events() []Event { return append([]Event(nil), b.events...) }
+
+// End reports the latest instant covered by any event (the traced horizon).
+func (b *Bus) End() sim.Time {
+	var tmax sim.Time
+	for _, ev := range b.events {
+		if ev.End > tmax {
+			tmax = ev.End
+		}
+	}
+	return tmax
+}
+
+// interval is a half-open [lo, hi) slice of virtual time.
+type interval struct{ lo, hi sim.Time }
+
+// union sorts and merges intervals into a disjoint ascending set.
+func union(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// total sums the lengths of a disjoint interval set clipped to [lo, hi).
+func total(ivs []interval, lo, hi sim.Time) time.Duration {
+	var sum time.Duration
+	for _, iv := range ivs {
+		a, b := iv.lo, iv.hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			sum += b.Sub(a)
+		}
+	}
+	return sum
+}
+
+// intersect returns the pairwise intersection of two disjoint ascending sets.
+func intersect(a, b []interval) []interval {
+	var out []interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].lo
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		hi := a[i].hi
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			out = append(out, interval{lo, hi})
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// intervals collects the spans matching sel as an interval union.
+func (b *Bus) intervals(sel func(*Event) bool) []interval {
+	var ivs []interval
+	for i := range b.events {
+		ev := &b.events[i]
+		if ev.Ph == PhaseSpan && ev.End > ev.Start && sel(ev) {
+			ivs = append(ivs, interval{ev.Start, ev.End})
+		}
+	}
+	return union(ivs)
+}
+
+// Overlap reports the total virtual time during which at least one span
+// matching selA and at least one span matching selB are simultaneously
+// active.
+func (b *Bus) Overlap(selA, selB func(*Event) bool) time.Duration {
+	both := intersect(b.intervals(selA), b.intervals(selB))
+	var sum time.Duration
+	for _, iv := range both {
+		sum += iv.hi.Sub(iv.lo)
+	}
+	return sum
+}
+
+// isCompute selects device-compute spans (kernels on cl queues).
+func isCompute(ev *Event) bool {
+	return ev.Layer == LayerCL && classify(ev.Name) == 'K'
+}
+
+// isComm selects communication spans: clMPI send/recv commands on cl queues
+// plus MPI protocol spans (which also cover host-initiated communication in
+// the serial and hand-optimized implementations).
+func isComm(ev *Event) bool {
+	if ev.Layer == LayerMPI {
+		return true
+	}
+	if ev.Layer != LayerCL {
+		return false
+	}
+	g := classify(ev.Name)
+	return g == 'S' || g == 'R'
+}
+
+// OverlapRatio reports the fraction of communication time hidden behind
+// device computation — the quantity the paper's Fig. 4 panels visualize:
+// (a) serialized runs score ≈0, (c) clMPI runs approach 1 when the kernels
+// are long enough to cover the halo exchange.
+func (b *Bus) OverlapRatio() float64 {
+	comm := b.intervals(isComm)
+	commTotal := total(comm, 0, b.End())
+	if commTotal <= 0 {
+		return 0
+	}
+	return b.Overlap(isCompute, isComm).Seconds() / commTotal.Seconds()
+}
+
+// IterationOverlap reports the overlap ratio per application iteration,
+// using LayerApp instants as boundaries: iteration k spans the earliest
+// instant named "iter k" to the earliest instant of the next iteration (the
+// last iteration extends to the trace horizon). It returns nil when no
+// iteration markers were recorded.
+func (b *Bus) IterationOverlap() []float64 {
+	first := map[string]sim.Time{}
+	var names []string
+	for i := range b.events {
+		ev := &b.events[i]
+		if ev.Layer != LayerApp || ev.Ph != PhaseInstant {
+			continue
+		}
+		if _, ok := first[ev.Name]; !ok {
+			first[ev.Name] = ev.Start
+			names = append(names, ev.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	bounds := make([]sim.Time, 0, len(names)+1)
+	for _, n := range names {
+		bounds = append(bounds, first[n])
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = append(bounds, b.End())
+	comm := b.intervals(isComm)
+	both := intersect(b.intervals(isCompute), comm)
+	out := make([]float64, 0, len(names))
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		c := total(comm, lo, hi)
+		if c <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, total(both, lo, hi).Seconds()/c.Seconds())
+	}
+	return out
+}
+
+// Summarize derives gauge metrics from the recorded events: per-link and
+// per-queue utilization over the traced horizon, the global overlap ratio,
+// and the per-iteration overlap when application markers are present. Call
+// it once after the simulation completes, before reading or formatting the
+// registry.
+func (b *Bus) Summarize() {
+	tmax := b.End()
+	if tmax == 0 {
+		return
+	}
+	busy := map[string]time.Duration{} // "layer\x00lane" → busy time
+	var keys []string
+	for i := range b.events {
+		ev := &b.events[i]
+		if ev.Ph != PhaseSpan || (ev.Layer != LayerCluster && ev.Layer != LayerCL) {
+			continue
+		}
+		k := ev.Layer + "\x00" + ev.Lane
+		if _, ok := busy[k]; !ok {
+			keys = append(keys, k)
+		}
+		busy[k] += ev.End.Sub(ev.Start)
+	}
+	sort.Strings(keys)
+	horizon := tmax.Sub(0).Seconds()
+	for _, k := range keys {
+		layer, lane, _ := strings.Cut(k, "\x00")
+		prefix := "queue"
+		if layer == LayerCluster {
+			prefix = "link"
+		}
+		b.metrics.Set(fmt.Sprintf("%s.%s.util", prefix, lane), busy[k].Seconds()/horizon)
+	}
+	b.metrics.Set("overlap.ratio", b.OverlapRatio())
+	for k, r := range b.IterationOverlap() {
+		b.metrics.Set(fmt.Sprintf("overlap.iter.%03d", k), r)
+	}
+}

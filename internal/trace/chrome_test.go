@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBus builds a small fixed event stream exercising every exporter
+// feature: all four layers, spans with and without args, an instant, and a
+// name needing JSON escaping.
+func goldenBus() *Bus {
+	b := NewBus()
+	b.Span(LayerCL, "rank0.q", "kernel jacobi", ms(0), ms(4))
+	b.Span(LayerCL, "rank0.q", "clmpi.send halo", ms(4), ms(6), AInt("bytes", 65536))
+	b.Span(LayerMPI, "rank0->rank1", `msg tag=7 "eager" 65536B`, ms(4), ms(6),
+		AInt("bytes", 65536), A("protocol", "eager"))
+	b.Span(LayerCluster, "node0.tx", "xfer", ms(4), ms(5), AInt("bytes", 65536))
+	b.Instant(LayerApp, "rank0", "iter 0", ms(0))
+	return b
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenBus().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("golden mismatch (rerun with -update if the change is intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// chromeDoc mirrors the trace_event JSON shape the exporter must produce.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		S    string         `json:"s"`
+		Cat  string         `json:"cat"`
+		Name string         `json:"name"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenBus().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// Metadata: a process_name per layer (4) plus sort indexes (4) plus a
+	// thread_name per lane (4 lanes), then 5 data events.
+	var meta, spans, instants int
+	procs := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "process_name" {
+				procs[ev.Args["name"].(string)] = ev.Pid
+			}
+		case "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Errorf("span %q has dur %v", ev.Name, ev.Dur)
+			}
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.S)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != 4 || instants != 1 || meta != 12 {
+		t.Fatalf("spans=%d instants=%d meta=%d", spans, instants, meta)
+	}
+	// All four layers present as distinct processes.
+	for _, layer := range []string{LayerCL, LayerMPI, LayerCluster, LayerApp} {
+		if _, ok := procs[layer]; !ok {
+			t.Errorf("layer %q missing from process metadata (have %v)", layer, procs)
+		}
+	}
+	// Timestamps are microseconds: the 4ms send starts at ts=4000.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == LayerCL && ev.Name == "clmpi.send halo" {
+			if ev.Ts != 4000 || ev.Dur != 2000 {
+				t.Fatalf("send ts/dur = %v/%v, want 4000/2000", ev.Ts, ev.Dur)
+			}
+			if ev.Args["bytes"] != "65536" {
+				t.Fatalf("send args = %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenBus().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenBus().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical buses exported differently")
+	}
+}

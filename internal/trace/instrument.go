@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Instrument attaches the tracer's bus to every instrumentable layer of a
+// job: cluster links (NIC, PCIe, GPU compute units), the MPI message
+// protocol, and the extension fabric's strategy selection. Command queues
+// attach individually via Tracer.Observer. Any argument may be nil to skip
+// that layer.
+func (t *Tracer) Instrument(clus *cluster.Cluster, world *mpi.World, fab *clmpi.Fabric) {
+	b := t.bus
+	if clus != nil {
+		clus.Observe(linkAdapter{b})
+	}
+	if world != nil {
+		world.SetMsgObserver(newMsgAdapter(b))
+	}
+	if fab != nil {
+		m := b.Metrics()
+		fab.SetPlanObserver(func(st clmpi.Strategy, size int64) {
+			m.Add("clmpi.strategy."+st.String(), 1)
+			m.Observe("clmpi.plan_bytes", float64(size))
+		})
+	}
+}
+
+// linkAdapter feeds sim.Link occupancy into cluster-layer spans and
+// per-link byte/busy counters.
+type linkAdapter struct{ b *Bus }
+
+func (a linkAdapter) LinkBusy(link string, bytes int64, start, end sim.Time) {
+	name := "busy"
+	var args []Arg
+	if bytes > 0 {
+		name = "xfer"
+		args = []Arg{AInt("bytes", bytes)}
+	}
+	a.b.Span(LayerCluster, link, name, start, end, args...)
+	m := a.b.Metrics()
+	m.Add("link."+link+".bytes", float64(bytes))
+	m.Add("link."+link+".busy_ns", float64(end.Sub(start)))
+}
+
+// msgAdapter turns protocol-phase notifications into mpi-layer spans (one
+// per message, from send-posted to delivered, with a matched instant) and
+// protocol metrics.
+type msgAdapter struct {
+	b    *Bus
+	open map[uint64]mpi.MsgEvent // send-posted events by Seq
+}
+
+func newMsgAdapter(b *Bus) *msgAdapter {
+	return &msgAdapter{b: b, open: make(map[uint64]mpi.MsgEvent)}
+}
+
+// msgLane names the per-pair lane a message's span lives on.
+func msgLane(src, dst int) string { return fmt.Sprintf("rank%d->rank%d", src, dst) }
+
+// proto names the protocol of a message for labels and metrics.
+func proto(eager bool) string {
+	if eager {
+		return "eager"
+	}
+	return "rendezvous"
+}
+
+func (a *msgAdapter) MessageEvent(ev mpi.MsgEvent) {
+	m := a.b.Metrics()
+	switch ev.Kind {
+	case mpi.MsgSendPosted:
+		a.open[ev.Seq] = ev
+		m.Add("mpi."+proto(ev.Eager), 1)
+		m.Add("mpi.bytes", float64(ev.Bytes))
+		m.Observe("mpi.msg_bytes", float64(ev.Bytes))
+	case mpi.MsgRecvPosted:
+		a.b.Instant(LayerMPI, fmt.Sprintf("rank%d.recv", ev.Dst), "irecv posted", ev.At,
+			AInt("src", int64(ev.Src)), AInt("tag", int64(ev.Tag)))
+		m.Add("mpi.recvs", 1)
+	case mpi.MsgMatched:
+		a.b.Instant(LayerMPI, msgLane(ev.Src, ev.Dst), "matched", ev.At,
+			AInt("tag", int64(ev.Tag)), AInt("bytes", int64(ev.Bytes)))
+	case mpi.MsgDelivered:
+		start := ev.At
+		if posted, ok := a.open[ev.Seq]; ok {
+			start = posted.At
+			delete(a.open, ev.Seq)
+		}
+		a.b.Span(LayerMPI, msgLane(ev.Src, ev.Dst),
+			fmt.Sprintf("msg tag=%d %s %dB", ev.Tag, proto(ev.Eager), ev.Bytes),
+			start, ev.At,
+			AInt("tag", int64(ev.Tag)), AInt("bytes", int64(ev.Bytes)), A("proto", proto(ev.Eager)))
+	}
+}

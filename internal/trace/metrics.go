@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// histBuckets is the fixed exponential bucket layout shared by every
+// histogram: powers of two from 1 up to 2^40 (1 TiB), which comfortably
+// covers message sizes in bytes and counts alike. A fixed layout keeps
+// histograms mergeable and their text rendering deterministic.
+const histBuckets = 41
+
+// Histogram is a fixed-bucket exponential histogram. Observations are
+// assigned to the first bucket whose upper bound 2^i is >= the value;
+// values above the last bound land in an overflow bucket.
+type Histogram struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	buckets  [histBuckets + 1]int64 // +1 overflow
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	for i := 0; i < histBuckets; i++ {
+		if v <= float64(int64(1)<<uint(i)) {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[histBuckets]++
+}
+
+// Mean reports the arithmetic mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile reports an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket counts: the bound of the bucket containing the q-th observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i <= histBuckets; i++ {
+		seen += h.buckets[i]
+		if seen >= rank {
+			if b := float64(int64(1) << uint(i)); i < histBuckets && b < h.Max {
+				return b
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Metrics is a registry of named counters, gauges, and histograms measured
+// in virtual time/quantities. Names are flat dotted strings
+// ("link.node0.tx.bytes"); rendering is sorted by name, so two identical
+// simulations format identically byte for byte.
+type Metrics struct {
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Add increments the named counter by v.
+func (m *Metrics) Add(name string, v float64) { m.counters[name] += v }
+
+// Set sets the named gauge to v.
+func (m *Metrics) Set(name string, v float64) { m.gauges[name] = v }
+
+// Observe records v into the named histogram.
+func (m *Metrics) Observe(name string, v float64) {
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Counter reports the named counter's value.
+func (m *Metrics) Counter(name string) (float64, bool) {
+	v, ok := m.counters[name]
+	return v, ok
+}
+
+// Gauge reports the named gauge's value.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	v, ok := m.gauges[name]
+	return v, ok
+}
+
+// Hist reports the named histogram, or nil.
+func (m *Metrics) Hist(name string) *Histogram { return m.hists[name] }
+
+// EachGauge calls fn for every gauge in sorted name order.
+func (m *Metrics) EachGauge(fn func(name string, v float64)) {
+	names := make([]string, 0, len(m.gauges))
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, m.gauges[n])
+	}
+}
+
+// MaxGauge reports the largest gauge whose name starts with prefix.
+func (m *Metrics) MaxGauge(prefix string) (name string, v float64, ok bool) {
+	names := make([]string, 0, len(m.gauges))
+	for n := range m.gauges {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !ok || m.gauges[n] > v {
+			name, v, ok = n, m.gauges[n], true
+		}
+	}
+	return name, v, ok
+}
+
+// fmtVal renders a metric value compactly and deterministically.
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Format renders the registry as sorted text, one metric per line:
+//
+//	counter mpi.eager 12
+//	gauge   link.node0.tx.util 0.42
+//	hist    mpi.msg_bytes count=24 sum=1.8e+07 mean=750000 p50=1.04858e+06 max=1.048576e+06
+func (m *Metrics) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %s %s\n", n, fmtVal(m.counters[n]))
+	}
+	names = names[:0]
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge   %s %s\n", n, fmtVal(m.gauges[n]))
+	}
+	names = names[:0]
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.hists[n]
+		fmt.Fprintf(&b, "hist    %s count=%d sum=%s mean=%s p50=%s max=%s\n",
+			n, h.Count, fmtVal(h.Sum), fmtVal(h.Mean()), fmtVal(h.Quantile(0.5)), fmtVal(h.Max))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.Add("c", 1)
+	m.Add("c", 2.5)
+	m.Set("g", 7)
+	m.Set("g", 9) // set overwrites
+	if v, ok := m.Counter("c"); !ok || v != 3.5 {
+		t.Fatalf("counter c = %v, %v", v, ok)
+	}
+	if v, ok := m.Gauge("g"); !ok || v != 9 {
+		t.Fatalf("gauge g = %v, %v", v, ok)
+	}
+	if _, ok := m.Counter("missing"); ok {
+		t.Fatal("missing counter reported present")
+	}
+	if _, ok := m.Gauge("missing"); ok {
+		t.Fatal("missing gauge reported present")
+	}
+	if m.Hist("missing") != nil {
+		t.Fatal("missing hist non-nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []float64{1, 2, 4, 1024} {
+		m.Observe("h", v)
+	}
+	h := m.Hist("h")
+	if h == nil || h.Count != 4 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Min != 1 || h.Max != 1024 || h.Sum != 1031 {
+		t.Fatalf("min/max/sum = %v/%v/%v", h.Min, h.Max, h.Sum)
+	}
+	if got := h.Mean(); got != 1031.0/4 {
+		t.Fatalf("mean = %v", got)
+	}
+	// p50 of {1,2,4,1024}: 2nd observation lands in the bucket bounded by 2.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(3e12) // beyond 2^40: overflow bucket
+	if got := h.Quantile(0.5); got != 3e12 {
+		t.Fatalf("overflow p50 = %v, want the max", got)
+	}
+}
+
+func TestEachGaugeAndMaxGauge(t *testing.T) {
+	m := NewMetrics()
+	m.Set("link.b.util", 0.5)
+	m.Set("link.a.util", 0.2)
+	m.Set("queue.q.util", 0.9)
+	var names []string
+	m.EachGauge(func(name string, v float64) { names = append(names, name) })
+	if strings.Join(names, ",") != "link.a.util,link.b.util,queue.q.util" {
+		t.Fatalf("EachGauge order = %v", names)
+	}
+	name, v, ok := m.MaxGauge("link.")
+	if !ok || name != "link.b.util" || v != 0.5 {
+		t.Fatalf("MaxGauge = %q %v %v", name, v, ok)
+	}
+	if _, _, ok := m.MaxGauge("nope."); ok {
+		t.Fatal("MaxGauge matched nothing but reported ok")
+	}
+}
+
+func TestMetricsFormatDeterministic(t *testing.T) {
+	build := func() *Metrics {
+		m := NewMetrics()
+		m.Add("mpi.eager", 12)
+		m.Add("cl.commands", 40)
+		m.Set("overlap.ratio", 0.789)
+		m.Set("link.node0.tx.util", 1.0/3)
+		m.Observe("mpi.msg_bytes", 65536)
+		m.Observe("mpi.msg_bytes", 131072)
+		return m
+	}
+	a, b := build().Format(), build().Format()
+	if a != b {
+		t.Fatalf("Format not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{
+		"counter cl.commands 40\n",
+		"counter mpi.eager 12\n",
+		"gauge   overlap.ratio 0.789\n",
+		"hist    mpi.msg_bytes count=2 sum=196608 mean=98304 p50=65536 max=131072\n",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("Format missing %q:\n%s", want, a)
+		}
+	}
+	// Sorted: counters before gauges before hists, each alphabetical.
+	if strings.Index(a, "cl.commands") > strings.Index(a, "mpi.eager") ||
+		strings.Index(a, "mpi.eager") > strings.Index(a, "overlap.ratio") {
+		t.Fatalf("Format not sorted:\n%s", a)
+	}
+}

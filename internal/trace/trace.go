@@ -1,7 +1,10 @@
-// Package trace records activity spans from a simulation and renders them
-// as ASCII timelines — the tool behind the reproduction of the paper's
-// Figure 4, which contrasts how the serial, hand-optimized, and clMPI
-// Himeno implementations schedule computation and communication.
+// Package trace is the repository's observability layer: a unified event
+// bus collecting lifecycle spans from every instrumented subsystem — OpenCL
+// command queues (internal/cl), MPI message protocol phases (internal/mpi),
+// and link/NIC/PCIe occupancy (internal/cluster resources) — plus a metrics
+// registry (counters, gauges, histograms in virtual time) and two exporters:
+// the ASCII Gantt timelines behind the reproduction of the paper's Figure 4,
+// and Chrome trace_event JSON loadable in chrome://tracing or Perfetto.
 package trace
 
 import (
@@ -13,7 +16,8 @@ import (
 	"repro/internal/sim"
 )
 
-// Span is one activity on one lane.
+// Span is one activity on one lane (the ASCII-timeline view of a cl-layer
+// bus event).
 type Span struct {
 	Lane  string
 	Label string
@@ -21,25 +25,42 @@ type Span struct {
 	End   sim.Time
 }
 
-// Tracer collects spans. It is not safe for host-level concurrency, which
-// is fine: simulation processes run one at a time.
+// Tracer is the command-queue view over a Bus: it adapts cl.Observer
+// notifications into cl-layer spans and renders them as the Fig. 4 ASCII
+// timelines. The other layers (MPI protocol, cluster links) record onto the
+// same bus via Instrument; the Chrome exporter and metrics registry see all
+// of them. Not safe for host-level concurrency, which is fine: simulation
+// processes run one at a time.
 type Tracer struct {
-	spans []Span
-	open  map[string]Span // keyed by lane; queues run one command at a time
+	bus  *Bus
+	open map[string]Span // keyed by lane; queues run one command at a time
 }
 
-// New creates an empty tracer.
-func New() *Tracer {
-	return &Tracer{open: make(map[string]Span)}
-}
+// New creates a tracer on a fresh bus.
+func New() *Tracer { return OnBus(NewBus()) }
 
-// Add records a completed span directly.
+// OnBus creates a tracer recording onto an existing bus.
+func OnBus(b *Bus) *Tracer { return &Tracer{bus: b, open: make(map[string]Span)} }
+
+// Bus returns the underlying event bus.
+func (t *Tracer) Bus() *Bus { return t.bus }
+
+// Add records a completed queue span directly.
 func (t *Tracer) Add(lane, label string, start, end sim.Time) {
-	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+	t.bus.Span(LayerCL, lane, label, start, end)
 }
 
-// Spans returns all recorded spans in completion order.
-func (t *Tracer) Spans() []Span { return append([]Span(nil), t.spans...) }
+// Spans returns the recorded cl-layer spans in completion order.
+func (t *Tracer) Spans() []Span {
+	var out []Span
+	for i := range t.bus.events {
+		ev := &t.bus.events[i]
+		if ev.Layer == LayerCL && ev.Ph == PhaseSpan {
+			out = append(out, Span{Lane: ev.Lane, Label: ev.Name, Start: ev.Start, End: ev.End})
+		}
+	}
+	return out
+}
 
 // queueObserver adapts a lane to cl.Observer.
 type queueObserver struct {
@@ -62,7 +83,19 @@ func (o *queueObserver) CommandFinished(_ *cl.CommandQueue, label string, at sim
 	}
 	delete(o.t.open, o.lane)
 	sp.End = at
-	o.t.spans = append(o.t.spans, sp)
+	o.t.bus.Span(LayerCL, sp.Lane, sp.Label, sp.Start, sp.End)
+	m := o.t.bus.Metrics()
+	m.Add("cl.commands", 1)
+	m.Add(fmt.Sprintf("cl.cmd.%c", glyphOrOther(label)), 1)
+}
+
+// glyphOrOther is classify with the invisible marker folded into 'o', for
+// metric names.
+func glyphOrOther(label string) byte {
+	if g := classify(label); g != 0 {
+		return g
+	}
+	return 'o'
 }
 
 // classify maps a command label to a single timeline glyph:
@@ -88,16 +121,17 @@ func classify(label string) byte {
 	}
 }
 
-// Render draws all lanes as an ASCII Gantt chart of the given width. Spans
-// are drawn with their classification glyph; overlaps within a lane keep the
-// later glyph. The scale line marks time in milliseconds.
+// Render draws all queue lanes as an ASCII Gantt chart of the given width.
+// Spans are drawn with their classification glyph; overlaps within a lane
+// keep the later glyph. The scale line marks time in milliseconds.
 func (t *Tracer) Render(width int) string {
-	if len(t.spans) == 0 {
+	spans := t.Spans()
+	if len(spans) == 0 {
 		return "(no spans)\n"
 	}
 	var tmax sim.Time
 	lanes := map[string][]Span{}
-	for _, sp := range t.spans {
+	for _, sp := range spans {
 		lanes[sp.Lane] = append(lanes[sp.Lane], sp)
 		if sp.End > tmax {
 			tmax = sp.End
@@ -146,9 +180,10 @@ func (t *Tracer) Render(width int) string {
 	return b.String()
 }
 
-// BusyTime sums the span time on one lane, for assertions about overlap.
+// BusyTime sums the span time on one queue lane, for assertions about
+// overlap.
 func (t *Tracer) BusyTime(lane string) (total sim.Time) {
-	for _, sp := range t.spans {
+	for _, sp := range t.Spans() {
 		if sp.Lane == lane {
 			total += sp.End - sp.Start
 		}
@@ -156,18 +191,19 @@ func (t *Tracer) BusyTime(lane string) (total sim.Time) {
 	return total
 }
 
-// Utilization summarizes each lane's busy fraction of the traced interval,
-// the quantitative companion to the Gantt chart: in the paper's Fig. 4
-// terms, high compute-lane utilization with concurrent comm-lane activity
-// is the overlapped case (c), while comm time appearing as compute-lane
-// idle is case (a).
+// Utilization summarizes each queue lane's busy fraction of the traced
+// interval, the quantitative companion to the Gantt chart: in the paper's
+// Fig. 4 terms, high compute-lane utilization with concurrent comm-lane
+// activity is the overlapped case (c), while comm time appearing as
+// compute-lane idle is case (a).
 func (t *Tracer) Utilization() string {
-	if len(t.spans) == 0 {
+	spans := t.Spans()
+	if len(spans) == 0 {
 		return "(no spans)\n"
 	}
 	var tmax sim.Time
 	lanes := map[string]sim.Time{}
-	for _, sp := range t.spans {
+	for _, sp := range spans {
 		lanes[sp.Lane] += sp.End - sp.Start
 		if sp.End > tmax {
 			tmax = sp.End
