@@ -21,6 +21,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nanopowder"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // newP2PRig wires a two-node world with attached contexts and runtimes.
@@ -294,6 +295,109 @@ func BenchmarkDESEngine(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(procs*wakeups), "events/op")
+}
+
+// BenchmarkEngineThroughput measures raw scheduler throughput in events per
+// host second across the hot-path shapes: timer-driven sleeps (the timer
+// cache), zero-duration yields (the same-instant fast path), and contended
+// synchronization (ready-ring churn). allocs/op is the per-event allocation
+// bill — the number the scheduler fast paths exist to shrink.
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.Run("timers", func(b *testing.B) {
+		const procs, wakeups = 64, 100
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			for j := 0; j < procs; j++ {
+				eng.Spawn("p", func(p *sim.Proc) {
+					for k := 0; k < wakeups; k++ {
+						p.Sleep(time.Microsecond)
+					}
+				})
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(procs*wakeups)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("yields", func(b *testing.B) {
+		const procs, yields = 8, 1000
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			for j := 0; j < procs; j++ {
+				eng.Spawn("y", func(p *sim.Proc) {
+					for k := 0; k < yields; k++ {
+						p.Sleep(0)
+					}
+					p.Sleep(time.Microsecond) // let every proc take a turn
+				})
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(procs*yields)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("mutex", func(b *testing.B) {
+		const procs, rounds = 16, 100
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			mu := sim.NewMutex(eng, "m")
+			for j := 0; j < procs; j++ {
+				eng.Spawn("c", func(p *sim.Proc) {
+					for k := 0; k < rounds; k++ {
+						mu.Lock(p)
+						p.Sleep(time.Nanosecond)
+						mu.Unlock(p)
+					}
+				})
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(procs*rounds)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
+// BenchmarkSweepSpeedup runs the same Fig9-style grid serially and through
+// the parallel sweep pool, reporting the wall-clock ratio. On a single-core
+// host the ratio is ~1; on an N-core host it should approach min(N, grid).
+func BenchmarkSweepSpeedup(b *testing.B) {
+	grid := func(workers int) {
+		_, err := sweep.MapN(workers, 8, func(i int) (float64, error) {
+			res, err := himeno.Run(himeno.Config{
+				System: cluster.Cichlid(), Nodes: 1 + i%4, Size: himeno.SizeXS, Iters: 2,
+				Impl: himeno.CLMPI, Mode: himeno.OfficialInit,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.GFLOPS, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var serial, parallel time.Duration
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid(1)
+		}
+		serial = b.Elapsed() / time.Duration(b.N)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid(sweep.Workers()) // default width: all host cores
+		}
+		parallel = b.Elapsed() / time.Duration(b.N)
+	})
+	if serial > 0 && parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	}
 }
 
 // --- Future-work features (§VI) ---------------------------------------------

@@ -30,11 +30,14 @@ import (
 	"repro/internal/himeno"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single study: strategy, ring, gpuaware or eager")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	flag.Parse()
+	sweep.SetWorkers(*parallel)
 	studies := map[string]func(){
 		"strategy": strategyStudy,
 		"ring":     ringStudy,
@@ -96,23 +99,33 @@ func strategyStudy() {
 			fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
 			os.Exit(1)
 		}
-		for _, size := range []int64{64 << 10, 1 << 20, 32 << 20} {
+		// The (size, strategy) grid plus the tuned column is 15 independent
+		// measurements per system: fan it out over the sweep pool and read
+		// the indexed results back in table order.
+		sizes := []int64{64 << 10, 1 << 20, 32 << 20}
+		sts := []clmpi.Strategy{clmpi.Auto, clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined}
+		cols := len(sts) + 1
+		grid, err := sweep.Map(len(sizes)*cols, func(i int) (float64, error) {
+			size, k := sizes[i/cols], i%cols
+			if k == len(sts) {
+				return measureOn(sys, tunedOpts, size), nil
+			}
+			return bench.MeasureP2P(sys, sts[k], 0, size)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
+			os.Exit(1)
+		}
+		for si, size := range sizes {
 			row := []string{sys.Name, fmt.Sprintf("%dKiB", size>>10)}
+			vals := grid[si*cols : (si+1)*cols]
 			best := 0.0
-			var vals []float64
-			for _, st := range []clmpi.Strategy{clmpi.Auto, clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined} {
-				bw, err := bench.MeasureP2P(sys, st, 0, size)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
-					os.Exit(1)
-				}
-				vals = append(vals, bw)
-				if st != clmpi.Auto && bw > best {
-					best = bw
+			for k := 1; k < len(sts); k++ { // fixed strategies only (not auto)
+				if vals[k] > best {
+					best = vals[k]
 				}
 			}
-			tuned := measureOn(sys, tunedOpts, size)
-			vals = append(vals, tuned)
+			tuned := vals[len(sts)]
 			for _, v := range vals {
 				row = append(row, fmt.Sprintf("%.0f", v/1e6))
 			}
@@ -194,6 +207,7 @@ func measureOn(system cluster.System, opts clmpi.Options, size int64) float64 {
 		rt := fab.Attach(ctx, ep)
 		q := ctx.NewQueue("q")
 		buf := ctx.MustCreateBuffer("b", size)
+		defer buf.Release() // recycle the block across ablation points
 		if ep.Rank() == 0 {
 			start := p.Now()
 			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {

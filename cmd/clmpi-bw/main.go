@@ -23,6 +23,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
+	"repro/internal/profiling"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -32,7 +34,17 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
 	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped or pipelined")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes of the traced transfer")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	sweep.SetWorkers(*parallel)
+	stopProfiling, perr := profiling.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", perr)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 	sys, ok := cluster.Systems()[*system]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "clmpi-bw: unknown system %q (want cichlid or ricc)\n", *system)

@@ -25,6 +25,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/himeno"
+	"repro/internal/profiling"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -35,7 +37,17 @@ func main() {
 	traceOut := flag.String("trace", "", "write a traced clMPI run as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the traced clMPI run's metrics registry")
 	traceNodes := flag.Int("trace-nodes", 2, "node count of the traced run (-trace/-metrics)")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	sweep.SetWorkers(*parallel)
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 	sys, ok := cluster.Systems()[*system]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "clmpi-himeno: unknown system %q\n", *system)

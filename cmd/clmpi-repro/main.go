@@ -9,6 +9,7 @@
 //
 //	clmpi-repro               # full evaluation, ~1 minute of host time
 //	clmpi-repro -quick        # smaller problem sizes, a few seconds
+//	clmpi-repro -parallel 4   # cap the sweep worker pool at 4 host cores
 package main
 
 import (
@@ -20,11 +21,21 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/himeno"
 	"repro/internal/nanopowder"
+	"repro/internal/profiling"
+	"repro/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	sweep.SetWorkers(*parallel)
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	check(err)
+	stopProfiling = stop
+	defer stop()
 
 	himenoSize := himeno.SizeM
 	himenoIters := 6
@@ -39,13 +50,18 @@ func main() {
 	fmt.Print(bench.Table1())
 
 	section("Figure 4 — scheduling timelines (Himeno, 2 Cichlid nodes)")
-	for _, panel := range []struct {
+	panels := []struct {
 		name string
 		impl himeno.Impl
-	}{{"(a) serialized", himeno.Serial}, {"(b) hand-optimized", himeno.HandOpt}, {"(c) clMPI", himeno.CLMPI}} {
-		out, err := bench.Fig4(panel.impl, himeno.SizeS, 2)
-		check(err)
-		fmt.Printf("%s\n\n%s\n", panel.name, out)
+	}{{"(a) serialized", himeno.Serial}, {"(b) hand-optimized", himeno.HandOpt}, {"(c) clMPI", himeno.CLMPI}}
+	// The three panels are independent traced runs: render them in
+	// parallel, print them in panel order.
+	rendered, err := sweep.Map(len(panels), func(i int) (string, error) {
+		return bench.Fig4(panels[i].impl, himeno.SizeS, 2)
+	})
+	check(err)
+	for i, panel := range panels {
+		fmt.Printf("%s\n\n%s\n", panel.name, rendered[i])
 	}
 
 	for _, sysName := range []string{"cichlid", "ricc"} {
@@ -87,50 +103,68 @@ func section(title string) {
 	fmt.Printf("\n================================================================\n%s\n================================================================\n\n", title)
 }
 
+// stopProfiling flushes any active profiles; check calls it before a fatal
+// exit so partial profiles are still written.
+var stopProfiling = func() {}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-repro: %v\n", err)
+		stopProfiling()
 		os.Exit(1)
 	}
 }
 
-// verifySummary is a compact version of clmpi-verify.
+// verifySummary is a compact version of clmpi-verify. Every verification run
+// is an independent simulation, so they fan out over the sweep pool; output
+// order stays fixed because results come back indexed.
 func verifySummary(iters int) {
 	wantGrid, _ := himeno.Reference(himeno.SizeXS, iters, himeno.ScrambledInit)
-	okAll := true
-	for _, impl := range []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI, himeno.GPUAware, himeno.CLMPIOutOfOrder} {
+	himenoImpls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI, himeno.GPUAware, himeno.CLMPIOutOfOrder}
+	himenoOK, err := sweep.Map(len(himenoImpls), func(i int) (bool, error) {
 		res, err := himeno.Run(himeno.Config{
 			System: cluster.Cichlid(), Nodes: 4, Size: himeno.SizeXS, Iters: iters,
-			Impl: impl, Mode: himeno.ScrambledInit, Verify: true,
+			Impl: himenoImpls[i], Mode: himeno.ScrambledInit, Verify: true,
 		})
-		check(err)
-		ok := true
+		if err != nil {
+			return false, err
+		}
 		for i := range res.Grid {
 			if res.Grid[i] != wantGrid[i] {
-				ok = false
-				break
+				return false, nil
 			}
 		}
-		okAll = okAll && ok
-		fmt.Printf("Himeno %-16s 4 nodes: bitwise match = %v\n", impl.String(), ok)
+		return true, nil
+	})
+	check(err)
+	okAll := true
+	for i, impl := range himenoImpls {
+		okAll = okAll && himenoOK[i]
+		fmt.Printf("Himeno %-16s 4 nodes: bitwise match = %v\n", impl.String(), himenoOK[i])
 	}
 	params := nanopowder.Params{Cells: 8, Bins: 96, Steps: 2, SubSteps: 50}
 	wantCells := nanopowder.Reference(params)
-	for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
+	npImpls := []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI}
+	npOK, err := sweep.Map(len(npImpls), func(i int) (bool, error) {
 		res, err := nanopowder.Run(nanopowder.Config{
-			System: cluster.RICC(), Nodes: 4, Impl: impl, Params: params, Verify: true,
+			System: cluster.RICC(), Nodes: 4, Impl: npImpls[i], Params: params, Verify: true,
 		})
-		check(err)
-		ok := true
+		if err != nil {
+			return false, err
+		}
 		for c := range wantCells {
 			for k := range wantCells[c] {
 				if res.Final[c][k] != wantCells[c][k] {
-					ok = false
+					return false, nil
 				}
 			}
 		}
-		okAll = okAll && ok
-		fmt.Printf("Nanopowder %-12s 4 nodes: bitwise match = %v\n", impl.String(), ok)
+		return true, nil
+	})
+	check(err)
+	for i, impl := range npImpls {
+		okAll = okAll && npOK[i]
+		fmt.Printf("Nanopowder %-12s 4 nodes: bitwise match = %v\n", impl.String(), npOK[i])
 	}
 	if !okAll {
 		fmt.Println("\nVERIFICATION FAILED")

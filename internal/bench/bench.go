@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
+	"repro/internal/sweep"
 )
 
 // FormatTable renders rows as an aligned text table.
@@ -93,14 +94,21 @@ func Fig8(sys cluster.System) (headers []string, rows [][]string, err error) {
 	for _, im := range impls {
 		headers = append(headers, im.Name+" MB/s")
 	}
-	for _, size := range Fig8Sizes() {
+	// Each (size, implementation) cell is an independent simulation: run the
+	// flat grid through the sweep pool and assemble rows from the indexed
+	// results, so the table is identical to the serial loop's.
+	sizes := Fig8Sizes()
+	bws, err := sweep.Map(len(sizes)*len(impls), func(i int) (float64, error) {
+		size, im := sizes[i/len(impls)], impls[i%len(impls)]
+		return MeasureP2P(sys, im.St, im.Block, size)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, size := range sizes {
 		row := []string{fmt.Sprintf("%d", size)}
-		for _, im := range impls {
-			bw, merr := MeasureP2P(sys, im.St, im.Block, size)
-			if merr != nil {
-				return nil, nil, merr
-			}
-			row = append(row, fmt.Sprintf("%.1f", bw/1e6))
+		for ii := range impls {
+			row = append(row, fmt.Sprintf("%.1f", bws[si*len(impls)+ii]/1e6))
 		}
 		rows = append(rows, row)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/nanopowder"
+	"repro/internal/sweep"
 )
 
 // Fig10Point is one (nodes, implementation) cell of Figure 10.
@@ -23,20 +24,29 @@ func Fig10Nodes() []int { return []int{1, 2, 4, 5, 8, 10, 20, 40} }
 // the node sweep on RICC.
 func Fig10(params nanopowder.Params) ([]Fig10Point, error) {
 	sys := cluster.RICC()
-	var out []Fig10Point
+	nodeCounts := Fig10Nodes()
+	impls := []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI}
+	// Flat (nodes, impl) grid over the sweep pool; indexed results keep the
+	// point order identical to the serial loop.
+	out, err := sweep.Map(len(nodeCounts)*len(impls), func(i int) (Fig10Point, error) {
+		nodes, impl := nodeCounts[i/len(impls)], impls[i%len(impls)]
+		res, err := nanopowder.Run(nanopowder.Config{
+			System: sys, Nodes: nodes, Impl: impl, Params: params,
+		})
+		if err != nil {
+			return Fig10Point{}, fmt.Errorf("fig10 n=%d %v: %w", nodes, impl, err)
+		}
+		return Fig10Point{Nodes: nodes, Impl: impl, StepTime: res.StepTime}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Speedup is relative to the 1-node baseline, which the grid guarantees
+	// is present; a post-pass keeps the normalization off the hot path.
 	var base1 time.Duration
-	for _, nodes := range Fig10Nodes() {
-		for _, impl := range []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI} {
-			res, err := nanopowder.Run(nanopowder.Config{
-				System: sys, Nodes: nodes, Impl: impl, Params: params,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 n=%d %v: %w", nodes, impl, err)
-			}
-			if nodes == 1 && impl == nanopowder.Baseline {
-				base1 = res.StepTime
-			}
-			out = append(out, Fig10Point{Nodes: nodes, Impl: impl, StepTime: res.StepTime})
+	for _, pt := range out {
+		if pt.Nodes == 1 && pt.Impl == nanopowder.Baseline {
+			base1 = pt.StepTime
 		}
 	}
 	for i := range out {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/himeno"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -45,28 +46,29 @@ func Fig9With(sys cluster.System, size himeno.Size, iters int, impls []himeno.Im
 // node counts. Node counts that the size cannot accommodate (fewer than two
 // interior planes per rank) are an error, as in himeno.Run.
 func Fig9Sweep(sys cluster.System, size himeno.Size, iters int, impls []himeno.Impl, nodeCounts []int) ([]Fig9Point, error) {
-	var out []Fig9Point
-	for _, nodes := range nodeCounts {
-		for _, impl := range impls {
-			res, err := himeno.Run(himeno.Config{
-				System: sys, Nodes: nodes, Size: size, Iters: iters,
-				Impl: impl, Mode: himeno.OfficialInit,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s n=%d %v: %w", sys.Name, nodes, impl, err)
-			}
-			pt := Fig9Point{Nodes: nodes, Impl: impl, GFLOPS: res.GFLOPS}
-			if impl == himeno.Serial {
-				if res.CommTime > 0 {
-					pt.Ratio = res.CompTime.Seconds() / res.CommTime.Seconds()
-				} else {
-					pt.Ratio = -1
-				}
-			}
-			out = append(out, pt)
+	// Every (nodes, impl) cell is an independent engine: fan the flat grid
+	// out over the sweep pool. Results come back indexed, so the point order
+	// (nodes outer, impls inner) matches the serial loop exactly, and the
+	// reported error is the one the serial loop would have hit first.
+	return sweep.Map(len(nodeCounts)*len(impls), func(i int) (Fig9Point, error) {
+		nodes, impl := nodeCounts[i/len(impls)], impls[i%len(impls)]
+		res, err := himeno.Run(himeno.Config{
+			System: sys, Nodes: nodes, Size: size, Iters: iters,
+			Impl: impl, Mode: himeno.OfficialInit,
+		})
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("fig9 %s n=%d %v: %w", sys.Name, nodes, impl, err)
 		}
-	}
-	return out, nil
+		pt := Fig9Point{Nodes: nodes, Impl: impl, GFLOPS: res.GFLOPS}
+		if impl == himeno.Serial {
+			if res.CommTime > 0 {
+				pt.Ratio = res.CompTime.Seconds() / res.CommTime.Seconds()
+			} else {
+				pt.Ratio = -1
+			}
+		}
+		return pt, nil
+	})
 }
 
 // Fig9Table renders the points as the figure's table form. Columns adapt to

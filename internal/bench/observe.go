@@ -78,6 +78,9 @@ func MeasureP2PTraced(sys cluster.System, st clmpi.Strategy, block, size int64, 
 			firstErr = err
 			return
 		}
+		// Release recycles the backing block so a sweep's next point reuses
+		// it instead of allocating a fresh multi-megabyte slice.
+		defer buf.Release()
 		if ep.Rank() == 0 {
 			start := p.Now()
 			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/sweep"
+)
+
+// fig9Fingerprint renders a Fig9 grid's points into one comparable string.
+func fig9Fingerprint(points []Fig9Point) string {
+	var b bytes.Buffer
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d/%v/%.17g/%.17g\n", pt.Nodes, pt.Impl, pt.GFLOPS, pt.Ratio)
+	}
+	return b.String()
+}
+
+// TestParallelSweepMatchesSerial is the acceptance gate for host
+// parallelism: the same Fig9 grid run serially and through the full worker
+// pool must produce identical results, point for point and bit for bit —
+// host concurrency may only change wall-clock time, never simulation
+// output. The test is meaningful under -race as well: it drives real
+// engines concurrently, so any shared mutable state between parallel
+// simulations shows up as a race report.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	sys := cluster.Cichlid()
+	impls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI}
+	nodes := []int{1, 2, 4}
+	run := func(workers int) []Fig9Point {
+		t.Helper()
+		old := sweep.Workers()
+		sweep.SetWorkers(workers)
+		defer sweep.SetWorkers(old)
+		points, err := Fig9Sweep(sys, himeno.SizeXS, 2, impls, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	serial := run(1)
+	parallel := run(8)
+	if a, b := fig9Fingerprint(serial), fig9Fingerprint(parallel); a != b {
+		t.Fatalf("parallel sweep diverged from serial:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+}
+
+// TestParallelTracedRunsByteIdentical checks the stronger property the
+// observability layer relies on: traced runs executing concurrently in
+// sweep workers export byte-identical Chrome traces and metrics to a serial
+// run of the same configuration. Each engine's virtual-time event stream
+// must be untouched by host scheduling.
+func TestParallelTracedRunsByteIdentical(t *testing.T) {
+	export := func() ([]byte, string) {
+		trc, _, err := TraceHimeno(cluster.Cichlid(), himeno.CLMPI, himeno.SizeXS, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trc.Bus().WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), trc.Bus().Metrics().Format()
+	}
+	wantTrace, wantMetrics := export()
+
+	type exp struct {
+		trace   []byte
+		metrics string
+	}
+	outs, err := sweep.MapN(4, 4, func(i int) (exp, error) {
+		tr, m := export()
+		return exp{tr, m}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if !bytes.Equal(o.trace, wantTrace) {
+			t.Fatalf("worker %d: Chrome trace differs from serial run", i)
+		}
+		if o.metrics != wantMetrics {
+			t.Fatalf("worker %d: metrics rendering differs from serial run:\n%s\nvs\n%s", i, o.metrics, wantMetrics)
+		}
+	}
+}
+
+// TestFig8ParallelMatchesSerial covers the bandwidth sweep the same way:
+// the full rendered table must be identical at any pool width.
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig8 sweep in -short mode")
+	}
+	render := func(workers int) string {
+		old := sweep.Workers()
+		sweep.SetWorkers(workers)
+		defer sweep.SetWorkers(old)
+		headers, rows, err := Fig8(cluster.Cichlid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable(headers, rows)
+	}
+	if a, b := render(1), render(6); a != b {
+		t.Fatalf("Fig8 table changed under parallel sweep:\n%s\nvs\n%s", a, b)
+	}
+}

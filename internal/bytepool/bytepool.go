@@ -1,0 +1,69 @@
+// Package bytepool recycles the data-plane byte slices the simulation churns
+// through: eager MPI payload copies, device buffer backing stores, and host
+// staging buffers. A sweep re-runs near-identical simulations thousands of
+// times; without recycling, every point reallocates (and the GC re-zeroes)
+// the same few-megabyte blocks.
+//
+// Slices are pooled in power-of-two size classes backed by sync.Pool, so the
+// pool is safe for concurrent use from parallel sweep workers and shrinks
+// under GC pressure like any sync.Pool.
+package bytepool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds pooled slices at 1<<maxClass bytes (64 MiB, the largest
+// message of the paper's sweeps). Larger requests are plainly allocated.
+const maxClass = 26
+
+var classes [maxClass + 1]sync.Pool
+
+// class returns the size-class index for n, or -1 if n is unpooled.
+func class(n int) int {
+	if n <= 0 || n > 1<<maxClass {
+		return -1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a slice of length n. The contents are arbitrary bytes from a
+// previous use; callers that need zeroed memory must use GetZero.
+func Get(n int) []byte {
+	c := class(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// GetZero returns a zeroed slice of length n, like make([]byte, n). Only
+// recycled blocks pay for the clear; fresh allocations are already zero.
+func GetZero(n int) []byte {
+	c := class(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		b := (*v.(*[]byte))[:n]
+		clear(b)
+		return b
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// Put recycles a slice obtained from Get/GetZero. The caller must not retain
+// any alias to b. Slices whose capacity is not an exact size class (they did
+// not come from this pool) are dropped.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 || c > 1<<maxClass {
+		return
+	}
+	b = b[:c]
+	classes[bits.Len(uint(c-1))].Put(&b)
+}

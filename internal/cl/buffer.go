@@ -3,6 +3,7 @@ package cl
 import (
 	"fmt"
 
+	"repro/internal/bytepool"
 	"repro/internal/cluster"
 )
 
@@ -19,6 +20,10 @@ type Buffer struct {
 	mapWrite bool
 	released bool
 	parent   *Buffer // non-nil for sub-buffers (see CreateSubBuffer)
+	// hasSub records that a sub-buffer was ever created over this buffer's
+	// storage. Sub-buffers alias data with independent slice headers, so a
+	// parent with sub-buffers can never return its block to the pool.
+	hasSub bool
 }
 
 // CreateBuffer allocates size bytes of device memory. It fails with
@@ -35,7 +40,10 @@ func (c *Context) CreateBuffer(label string, size int64) (*Buffer, error) {
 			ErrOutOfResources, size, d.allocated, d.GlobalMemSize())
 	}
 	d.allocated += size
-	return &Buffer{ctx: c, label: label, data: make([]byte, size)}, nil
+	// Backing bytes come from the shared pool: a sweep re-creating the same
+	// device buffers thousands of times recycles the same blocks instead of
+	// re-allocating (and re-zeroing via GC) them each point.
+	return &Buffer{ctx: c, label: label, data: bytepool.GetZero(int(size))}, nil
 }
 
 // MustCreateBuffer is CreateBuffer that panics on error, for examples and
@@ -68,6 +76,13 @@ func (b *Buffer) Release() error {
 	b.released = true
 	if b.parent == nil {
 		b.ctx.Device.allocated -= int64(len(b.data))
+		if !b.hasSub && !b.mapped {
+			// No sub-buffer or mapped region can alias the block: recycle
+			// it. Dropping the reference also makes stale post-release
+			// Bytes() use fail loudly instead of reading pooled memory.
+			bytepool.Put(b.data)
+			b.data = nil
+		}
 	}
 	return nil
 }

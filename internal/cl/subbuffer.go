@@ -23,6 +23,7 @@ func (b *Buffer) CreateSubBuffer(label string, origin, size int64) (*Buffer, err
 		// Match OpenCL: sub-buffers of sub-buffers are invalid.
 		return nil, fmt.Errorf("%w: sub-buffer of a sub-buffer", ErrInvalidBuffer)
 	}
+	b.hasSub = true
 	return &Buffer{
 		ctx:    b.ctx,
 		label:  label,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Measurement-based strategy selection. §V-B of the paper says "an
@@ -61,15 +62,27 @@ func tuneCandidates() []struct {
 func Tune(sys cluster.System) (Options, error) {
 	var table []CutoffEntry
 	sizes := tuneSizes()
+	cands := tuneCandidates()
+	// Every probe is an independent scratch simulation: run the whole
+	// (size, candidate) grid through the sweep pool, then pick winners from
+	// the indexed results in candidate order — the same argmax (first
+	// strictly-better candidate wins ties) the serial loop computes.
+	bws, err := sweep.Map(len(sizes)*len(cands), func(i int) (float64, error) {
+		size, cand := sizes[i/len(cands)], cands[i%len(cands)]
+		bw, err := probe(sys, cand.st, cand.block, size)
+		if err != nil {
+			return 0, fmt.Errorf("clmpi: tuning probe (%v, %d): %w", cand.st, size, err)
+		}
+		return bw, nil
+	})
+	if err != nil {
+		return Options{}, err
+	}
 	for i, size := range sizes {
 		var best CutoffEntry
 		bestBW := -1.0
-		for _, cand := range tuneCandidates() {
-			bw, err := probe(sys, cand.st, cand.block, size)
-			if err != nil {
-				return Options{}, fmt.Errorf("clmpi: tuning probe (%v, %d): %w", cand.st, size, err)
-			}
-			if bw > bestBW {
+		for ci, cand := range cands {
+			if bw := bws[i*len(cands)+ci]; bw > bestBW {
 				bestBW = bw
 				best = CutoffEntry{St: cand.st, Block: cand.block}
 			}
@@ -118,6 +131,8 @@ func probe(sys cluster.System, st Strategy, block, size int64) (float64, error) 
 			firstErr = err
 			return
 		}
+		// Recycle the probe block across candidate measurements.
+		defer buf.Release()
 		if ep.Rank() == 0 {
 			start := p.Now()
 			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, world.Comm(), nil); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bytepool"
 	"repro/internal/cl"
 	"repro/internal/cluster"
 	"repro/internal/mpi"
@@ -40,8 +41,11 @@ func (rk *rank) hostExchange(p *sim.Proc, q *cl.CommandQueue, comm *mpi.Comm, ar
 	s := rk.size
 	g := rk.ep.Node().Sys.GPU
 	pb := s.planeBytes()
-	hostSend := make([]byte, pb)
-	hostRecv := make([]byte, pb)
+	// Staging planes are transient: recycled across timesteps (and across
+	// sweep points) through the shared byte pool. Both are fully overwritten
+	// (read-back / message delivery) before they are read.
+	hostSend := bytepool.Get(int(pb))
+	hostRecv := bytepool.Get(int(pb))
 
 	if _, err := rk.enqueuePack(q, arr, sendLi, sendBuf, nil); err != nil {
 		return err
@@ -70,7 +74,14 @@ func (rk *rank) hostExchange(p *sim.Proc, q *cl.CommandQueue, comm *mpi.Comm, ar
 	if _, err := rk.enqueueUnpack(q, arr, ghostLi, recvBuf, nil); err != nil {
 		return err
 	}
-	return q.Finish(p)
+	if err := q.Finish(p); err != nil {
+		return err
+	}
+	// Every consumer is done: the send is complete (Waitall) and the write
+	// command has copied hostRecv into the device buffer (blocking enqueue).
+	bytepool.Put(hostSend)
+	bytepool.Put(hostRecv)
+	return nil
 }
 
 // hostExchangeBoth exchanges both halos of arr at once: pack and read both
@@ -89,13 +100,15 @@ func (rk *rank) hostExchangeBoth(p *sim.Proc, q *cl.CommandQueue, comm *mpi.Comm
 		host    []byte
 	}
 	var ins []incoming
+	var staged [][]byte // pooled staging planes, recycled on success
 	for _, dir := range []direction{dirUp, dirDown} {
 		peer, sendLi, ghostLi, sendTag, recvTag, sendBuf, recvBuf := rk.exchangeSpec(dir)
 		if peer < 0 {
 			continue
 		}
-		hostSend := make([]byte, pb)
-		hostRecv := make([]byte, pb)
+		hostSend := bytepool.Get(int(pb))
+		hostRecv := bytepool.Get(int(pb))
+		staged = append(staged, hostSend, hostRecv)
 		if _, err := rk.enqueuePack(q, arr, sendLi, sendBuf, nil); err != nil {
 			return err
 		}
@@ -126,7 +139,13 @@ func (rk *rank) hostExchangeBoth(p *sim.Proc, q *cl.CommandQueue, comm *mpi.Comm
 			return err
 		}
 	}
-	return q.Finish(p)
+	if err := q.Finish(p); err != nil {
+		return err
+	}
+	for _, b := range staged {
+		bytepool.Put(b)
+	}
+	return nil
 }
 
 // runSerial is the fully serialized implementation: one kernel over the

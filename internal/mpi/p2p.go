@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bytepool"
 	"repro/internal/sim"
 )
 
@@ -31,10 +32,15 @@ type message struct {
 	seq           uint64
 	size          int
 	eager         bool
-	payload       []byte       // eager: captured copy; rendezvous: nil
-	sendBuf       []byte       // rendezvous: the live send buffer
-	arrived       *sim.Trigger // data available at the receiver (eager/local)
-	req           *Request
+	payload       []byte // eager: pooled captured copy; rendezvous/direct: nil
+	sendBuf       []byte // rendezvous (and direct self-sends): the live send buffer
+	// direct marks an intra-node copy elision: a matching receive was
+	// already posted when the send arrived, so delivery fills the
+	// receiver-owned buffer straight from the sender's (no intermediate
+	// payload capture). Set only when matching is synchronous with the send.
+	direct  bool
+	arrived *sim.Trigger // data available at the receiver (eager/local)
+	req     *Request
 }
 
 // recvOp is a posted receive awaiting a message.
@@ -80,14 +86,25 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 	case dest == ep.rank:
 		// Self-message: a shared-memory copy, no NIC involved.
 		msg.eager = true
-		msg.payload = append([]byte(nil), buf...)
 		msg.arrived = sim.NewTrigger(w.eng, "self-msg")
+		if rop := comm.firstMatch(msg); rop != nil && msg.size <= len(rop.buf) {
+			// Copy elision: the receive is already posted, and matching
+			// happens synchronously below, so delivery can fill the
+			// receiver's buffer directly from the (still untouched) send
+			// buffer instead of staging a payload copy.
+			msg.direct = true
+			msg.sendBuf = buf
+		} else {
+			msg.payload = bytepool.Get(len(buf))
+			copy(msg.payload, buf)
+		}
 		d := localOverhead + secondsToDur(float64(len(buf))/ep.Node().Sys.CPU.MemBW)
 		msg.arrived.FireAfter(d, nil)
 		msg.req.completeAfter(d, Status{}, nil)
 	case len(buf) <= EagerThreshold:
 		msg.eager = true
-		msg.payload = append([]byte(nil), buf...)
+		msg.payload = bytepool.Get(len(buf))
+		copy(msg.payload, buf)
 		msg.arrived = sim.NewTrigger(w.eng, "eager-msg")
 		w.eng.Spawn(fmt.Sprintf("eager %d->%d", ep.rank, dest), func(tp *sim.Proc) {
 			ep.wireTransfer(tp, dest, int64(msg.size))
@@ -163,6 +180,18 @@ func matches(rop *recvOp, msg *message) bool {
 		return msg.tag >= 0
 	}
 	return rop.tag == msg.tag
+}
+
+// firstMatch returns the posted receive that matchNewMessage would pair msg
+// with, or nil. It must mirror matchNewMessage's scan exactly: the send-side
+// copy elision relies on predicting the match.
+func (c *Comm) firstMatch(msg *message) *recvOp {
+	for _, rop := range c.postedRecvs {
+		if msg.dst == rop.owner && matches(rop, msg) {
+			return rop
+		}
+	}
+	return nil
 }
 
 // matchNewMessage pairs a just-posted message against posted receives.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bytepool"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,11 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 			msg.req.complete(Status{}, nil)
 			rop.req.complete(st, err)
 		}
+		if msg.payload != nil {
+			// Nothing will read the captured copy: recycle it now.
+			bytepool.Put(msg.payload)
+			msg.payload = nil
+		}
 		w.observe(delivered(now))
 		return
 	}
@@ -76,8 +82,19 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 		// when the payload has arrived (it may already have).
 		buf := rop.buf
 		req := rop.req
+		if msg.direct {
+			// Intra-node copy elision: matching is synchronous with the
+			// send, so the sender's buffer still holds the payload — fill
+			// the receiver-owned buffer directly, skipping the staged copy.
+			copy(buf, msg.sendBuf)
+			msg.sendBuf = nil
+		}
 		msg.arrived.OnFire(func(at sim.Time, _ any) {
-			copy(buf, msg.payload)
+			if msg.payload != nil {
+				copy(buf, msg.payload)
+				bytepool.Put(msg.payload)
+				msg.payload = nil
+			}
 			req.status = st
 			if at < now {
 				// Payload beat the receive: delivery is at match time.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/bytepool"
 	"repro/internal/cl"
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
@@ -248,7 +249,11 @@ func runWorker(hp *sim.Proc, ep *mpi.Endpoint, comm *mpi.Comm, rt *clmpi.Runtime
 	wireB := int64(cpn) * cellB
 	srcWire := make([]byte, cpn*8)
 	summary := make([]byte, cpn*8)
-	hostCoef := make([]byte, wireB) // baseline staging
+	var hostCoef []byte // baseline staging: pooled, only the Baseline path needs it
+	if impl == Baseline {
+		hostCoef = bytepool.Get(int(wireB))
+		defer bytepool.Put(hostCoef)
+	}
 	for step := 0; step < p.Steps; step++ {
 		if _, err := ep.Recv(hp, srcWire, 0, tagSource, mpi.Bytes, comm); err != nil {
 			return err

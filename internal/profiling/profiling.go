@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof CPU and heap profilers into the
+// command-line tools. It exists so every cmd/clmpi-* binary exposes the same
+// -cpuprofile/-memprofile contract with one call, keeping profiler
+// bookkeeping out of the tools' main functions.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function that must run before the process exits — typically
+// via defer in main. An empty path disables that profile; with both empty,
+// Start is a no-op and stop does nothing.
+//
+// The CPU profile covers everything between Start and stop. The heap profile
+// is written at stop time, after a final GC, so it reflects live memory at
+// the end of the run rather than transient allocation peaks.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

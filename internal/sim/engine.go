@@ -16,19 +16,56 @@ import (
 // may share data structures without host-level locking. The engine lock only
 // guards the scheduler's own state.
 type Engine struct {
-	mu      sync.Mutex
-	now     Time
-	seq     uint64 // tie-breaker for simultaneous events
-	timers  timerHeap
-	ready   []*Proc // FIFO of processes runnable at the current instant
-	alive   int     // processes spawned and not yet finished
-	daemons int     // subset of alive that are daemons
-	running bool    // true while some process goroutine is executing
-	started bool    // Run has been called
-	stopped bool    // simulation has ended (normally or by abort)
-	err     error
-	done    chan struct{}
-	procs   []*Proc // every process ever spawned, for diagnostics
+	mu  sync.Mutex
+	now Time
+	seq uint64 // tie-breaker for simultaneous events
+	// nextTimer caches the earliest pending timer so the common case — a
+	// single pending timer per scheduling step — never touches the heap.
+	// Invariant: while nextValid, nextTimer orders before every heap entry.
+	nextTimer timerEvent
+	nextValid bool
+	timers    timerHeap // pending timers beyond the cached minimum
+	ready     procRing  // FIFO of processes runnable at the current instant
+	alive     int       // processes spawned and not yet finished
+	daemons   int       // subset of alive that are daemons
+	running   bool      // true while some process goroutine is executing
+	started   bool      // Run has been called
+	stopped   bool      // simulation has ended (normally or by abort)
+	err       error
+	done      chan struct{}
+	procs     []*Proc // every process ever spawned, for diagnostics
+}
+
+// procRing is a growable FIFO of processes. Unlike the head-slicing
+// `ready = ready[1:]` idiom it replaces, popped slots are nilled out and the
+// backing array is reused, so finished processes are not kept reachable and
+// steady-state scheduling allocates nothing.
+type procRing struct {
+	buf  []*Proc
+	head int
+	n    int
+}
+
+func (r *procRing) len() int { return r.n }
+
+func (r *procRing) push(p *Proc) {
+	if r.n == len(r.buf) {
+		grown := make([]*Proc, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *procRing) pop() *Proc {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
 }
 
 // DeadlockError reports that the simulation can make no further progress:
@@ -56,17 +93,20 @@ type timerEvent struct {
 	fn   func() // otherwise run with the engine lock held
 }
 
+// timerBefore reports whether a fires before b (time, then schedule order).
+func timerBefore(a, b timerEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 type timerHeap []timerEvent
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEvent)) }
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return timerBefore(h[i], h[j]) }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(timerEvent)) }
 func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -117,7 +157,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		e.daemons++
 	}
 	e.procs = append(e.procs, p)
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
 	go e.runProc(p, fn)
 	return p
 }
@@ -205,13 +245,58 @@ func (e *Engine) Stats() Stats {
 // atLocked schedules fn to run (with the engine lock held) at instant t.
 func (e *Engine) atLocked(t Time, fn func()) {
 	e.seq++
-	heap.Push(&e.timers, timerEvent{at: t, seq: e.seq, fn: fn})
+	e.pushTimerLocked(timerEvent{at: t, seq: e.seq, fn: fn})
 }
 
 // atProcLocked schedules process p to wake at instant t.
 func (e *Engine) atProcLocked(t Time, p *Proc) {
 	e.seq++
-	heap.Push(&e.timers, timerEvent{at: t, seq: e.seq, proc: p})
+	e.pushTimerLocked(timerEvent{at: t, seq: e.seq, proc: p})
+}
+
+// pushTimerLocked inserts a timer, keeping the earliest event in the
+// nextTimer cache. A simulation whose scheduling steps each have at most one
+// pending timer — the dominant pattern for Sleep-driven process loops —
+// never pays heap churn.
+func (e *Engine) pushTimerLocked(ev timerEvent) {
+	switch {
+	case e.nextValid:
+		if timerBefore(ev, e.nextTimer) {
+			heap.Push(&e.timers, e.nextTimer)
+			e.nextTimer = ev
+		} else {
+			heap.Push(&e.timers, ev)
+		}
+	case len(e.timers) == 0 || timerBefore(ev, e.timers[0]):
+		e.nextTimer, e.nextValid = ev, true
+	default:
+		heap.Push(&e.timers, ev)
+	}
+}
+
+// havePendingTimerLocked reports whether any timer is pending.
+func (e *Engine) havePendingTimerLocked() bool {
+	return e.nextValid || len(e.timers) > 0
+}
+
+// timerAtNowLocked reports whether the earliest pending timer would fire at
+// the current instant.
+func (e *Engine) timerAtNowLocked() bool {
+	if e.nextValid {
+		return e.nextTimer.at == e.now
+	}
+	return len(e.timers) > 0 && e.timers[0].at == e.now
+}
+
+// popTimerLocked removes and returns the earliest pending timer.
+func (e *Engine) popTimerLocked() timerEvent {
+	if e.nextValid {
+		ev := e.nextTimer
+		e.nextValid = false
+		e.nextTimer = timerEvent{}
+		return ev
+	}
+	return heap.Pop(&e.timers).(timerEvent)
 }
 
 // After schedules fn to run after duration d of virtual time. fn executes in
@@ -238,7 +323,7 @@ func (e *Engine) wakeLocked(p *Proc) {
 	}
 	p.state = stateReady
 	p.waitLabel = ""
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
 }
 
 // scheduleLocked hands execution to the next runnable process, advancing the
@@ -249,15 +334,14 @@ func (e *Engine) scheduleLocked() {
 		return
 	}
 	for {
-		if len(e.ready) > 0 {
-			p := e.ready[0]
-			e.ready = e.ready[1:]
+		if e.ready.len() > 0 {
+			p := e.ready.pop()
 			e.running = true
 			p.resume <- struct{}{}
 			return
 		}
-		if len(e.timers) > 0 {
-			ev := heap.Pop(&e.timers).(timerEvent)
+		if e.havePendingTimerLocked() {
+			ev := e.popTimerLocked()
 			if ev.at < e.now {
 				panic("sim: timer in the past")
 			}

@@ -60,8 +60,18 @@ func (p *Proc) Sleep(d time.Duration) {
 	}
 	e := p.eng
 	e.mu.Lock()
+	if d == 0 && !e.stopped && e.ready.len() == 0 && !e.timerAtNowLocked() {
+		// Nothing else can run at this instant, so the yield is a no-op:
+		// return without the park/resume channel round-trip. Event order is
+		// unchanged — any process or timer due now takes the slow path.
+		e.mu.Unlock()
+		return
+	}
 	e.atProcLocked(e.now.Add(d), p)
-	e.park(p, fmt.Sprintf("sleep %v", d))
+	// A sleeping process always has its wakeup timer pending, so it can
+	// never appear in a deadlock report; a constant label avoids formatting
+	// on the hot path.
+	e.park(p, "sleep")
 	e.mu.Unlock()
 }
 

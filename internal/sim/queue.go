@@ -5,10 +5,11 @@ package sim
 // empty, and blocked getters are served in FIFO order. It is the backbone of
 // every command queue and progress-engine work list in the runtimes above.
 type Queue[T any] struct {
-	eng     *Engine
-	label   string
-	items   []T
-	getters []*Proc
+	eng       *Engine
+	label     string
+	waitLabel string
+	items     []T
+	getters   []*Proc
 	// handoff delivers an item directly to a woken getter, preserving FIFO
 	// pairing between items and getters.
 	handoff map[*Proc]T
@@ -17,7 +18,7 @@ type Queue[T any] struct {
 
 // NewQueue creates an empty queue.
 func NewQueue[T any](e *Engine, label string) *Queue[T] {
-	return &Queue[T]{eng: e, label: label, handoff: make(map[*Proc]T)}
+	return &Queue[T]{eng: e, label: label, waitLabel: "queue " + label, handoff: make(map[*Proc]T)}
 }
 
 // Len reports the number of items currently buffered.
@@ -64,7 +65,7 @@ func (q *Queue[T]) Get(p *Proc) (T, bool) {
 		return zero, false
 	}
 	q.getters = append(q.getters, p)
-	e.park(p, "queue "+q.label)
+	e.park(p, q.waitLabel)
 	v, ok := q.handoff[p]
 	if ok {
 		delete(q.handoff, p)

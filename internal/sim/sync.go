@@ -6,15 +6,16 @@ import "fmt"
 // waiters acquire the lock in the order they requested it, which keeps
 // simulations deterministic.
 type Mutex struct {
-	eng     *Engine
-	label   string
-	locked  bool
-	waiters []*Proc
+	eng       *Engine
+	label     string
+	waitLabel string // precomputed park label, off the Lock hot path
+	locked    bool
+	waiters   []*Proc
 }
 
 // NewMutex creates an unlocked virtual mutex.
 func NewMutex(e *Engine, label string) *Mutex {
-	return &Mutex{eng: e, label: label}
+	return &Mutex{eng: e, label: label, waitLabel: "mutex " + label}
 }
 
 // Lock blocks process p until it holds the mutex.
@@ -27,7 +28,7 @@ func (m *Mutex) Lock(p *Proc) {
 		return
 	}
 	m.waiters = append(m.waiters, p)
-	e.park(p, "mutex "+m.label)
+	e.park(p, m.waitLabel)
 	// Ownership was transferred to us by Unlock before we were woken.
 	e.mu.Unlock()
 }
@@ -52,10 +53,11 @@ func (m *Mutex) Unlock(p *Proc) {
 
 // Semaphore is a counting semaphore in virtual time with FIFO wakeups.
 type Semaphore struct {
-	eng     *Engine
-	label   string
-	count   int
-	waiters []*semWaiter
+	eng       *Engine
+	label     string
+	waitLabel string
+	count     int
+	waiters   []*semWaiter
 }
 
 type semWaiter struct {
@@ -68,7 +70,7 @@ func NewSemaphore(e *Engine, label string, n int) *Semaphore {
 	if n < 0 {
 		panic("sim: negative semaphore count")
 	}
-	return &Semaphore{eng: e, label: label, count: n}
+	return &Semaphore{eng: e, label: label, waitLabel: "semaphore " + label, count: n}
 }
 
 // Acquire blocks p until n permits are available and takes them. Waiters are
@@ -87,7 +89,7 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	}
 	w := &semWaiter{p: p, n: n}
 	s.waiters = append(s.waiters, w)
-	e.park(p, "semaphore "+s.label)
+	e.park(p, s.waitLabel)
 	e.mu.Unlock()
 }
 

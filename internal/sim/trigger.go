@@ -11,12 +11,13 @@ import "time"
 // A Trigger may carry an arbitrary payload set at Fire time, so it doubles
 // as a single-assignment future.
 type Trigger struct {
-	eng     *Engine
-	label   string
-	fired   bool
-	firedAt Time
-	payload any
-	waiters []*Proc
+	eng       *Engine
+	label     string
+	waitLabel string
+	fired     bool
+	firedAt   Time
+	payload   any
+	waiters   []*Proc
 	// callbacks run in scheduler context when the trigger fires; they must
 	// not block. Used for OpenCL-style event callbacks and event chaining.
 	callbacks []func(at Time, payload any)
@@ -25,7 +26,7 @@ type Trigger struct {
 // NewTrigger creates an unfired trigger. The label appears in deadlock
 // reports of processes blocked on it.
 func NewTrigger(e *Engine, label string) *Trigger {
-	return &Trigger{eng: e, label: label}
+	return &Trigger{eng: e, label: label, waitLabel: "trigger " + label}
 }
 
 // Fired reports whether the trigger has fired.
@@ -99,7 +100,7 @@ func (t *Trigger) Wait(p *Proc) any {
 		return pl
 	}
 	t.waiters = append(t.waiters, p)
-	e.park(p, "trigger "+t.label)
+	e.park(p, t.waitLabel)
 	pl := t.payload
 	e.mu.Unlock()
 	return pl

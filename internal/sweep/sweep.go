@@ -1,0 +1,123 @@
+// Package sweep runs independent simulation points across host cores.
+//
+// The paper's evaluation (§V) is a grid of independent experiments — system ×
+// strategy × message size × node count — and each point runs on its own
+// sim.Engine with no shared mutable state. One engine stays single-threaded
+// (that is what makes virtual time deterministic), but distinct engines can
+// run on distinct host cores. This package is the one place that host
+// parallelism is introduced: a bounded worker pool with
+//
+//   - deterministic results: collected by grid index, never by completion
+//     order, so parallel output is byte-identical to the serial path;
+//   - deterministic errors: the error of the lowest-indexed failing point is
+//     returned, which is the same error the serial loop would have hit;
+//   - cancel-on-first-error: workers stop claiming new points once any point
+//     fails (in-flight points finish — a running engine cannot be
+//     interrupted).
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool width used when a call does not specify one.
+// Guarded by defaultMu; 0 means "use GOMAXPROCS at call time".
+var (
+	defaultMu      sync.Mutex
+	defaultWorkers int
+)
+
+// Workers reports the current default pool width.
+func Workers() int {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultWorkers > 0 {
+		return defaultWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the default pool width for subsequent Map/Each calls.
+// n <= 0 restores the default (GOMAXPROCS). The cmd tools' -parallel flag
+// lands here; 1 forces fully serial execution.
+func SetWorkers(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers = n
+}
+
+// Map evaluates fn(0..n-1) with the default pool width and returns the
+// results indexed by point. On error the results are nil and the returned
+// error is the one from the lowest failing index — exactly what a serial
+// loop would have returned, provided fn is deterministic per index.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(Workers(), n, fn)
+}
+
+// Each is Map for point functions with no result.
+func Each(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return err
+}
+
+// MapN is Map with an explicit pool width. workers <= 1 runs serially on the
+// calling goroutine (no pool, no extra allocation); the parallel path spawns
+// min(workers, n) goroutines that claim indices from a shared counter.
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	// The lowest-indexed error is deterministic even though which points ran
+	// is not: every index below it that ran succeeded, and those that were
+	// skipped are above some failing index anyway.
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
