@@ -87,6 +87,27 @@ func BenchmarkFig8a(b *testing.B) { fig8Cases(b, cluster.Cichlid()) }
 // BenchmarkFig8b sweeps the transfer implementations on RICC (InfiniBand).
 func BenchmarkFig8b(b *testing.B) { fig8Cases(b, cluster.RICC()) }
 
+// BenchmarkTransferPipeline is the xfer engine's size × strategy grid on both
+// preset systems: every registered strategy, including the peer-DMA path that
+// skips host staging entirely. The MB/s metric is virtual bandwidth (exact
+// and machine-independent); ns/op is the host-side cost of simulating one
+// transfer through the staged-pipeline engine. BENCH_xfer.json snapshots
+// this grid.
+func BenchmarkTransferPipeline(b *testing.B) {
+	for _, sys := range []cluster.System{cluster.Cichlid(), cluster.RICC()} {
+		for _, st := range []clmpi.Strategy{clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined, clmpi.Peer} {
+			var block int64
+			if st == clmpi.Pipelined || st == clmpi.Peer {
+				block = 1 << 20
+			}
+			for _, size := range []int64{256 << 10, 4 << 20, 32 << 20} {
+				name := fmt.Sprintf("%s/%s/msg=%dKiB", sys.Name, st, size>>10)
+				b.Run(name, func(b *testing.B) { benchP2P(b, sys, st, block, size) })
+			}
+		}
+	}
+}
+
 // --- Figure 9: Himeno sustained performance ---------------------------------
 
 func benchHimeno(b *testing.B, sys cluster.System, nodes int, impl himeno.Impl) {

@@ -90,7 +90,7 @@ func ipoibStudy() {
 func strategyStudy() {
 	fmt.Println("Ablation: automatic strategy selection (§V-B) vs fixed strategies vs measured tuning")
 	fmt.Println()
-	headers := []string{"system", "msg", "auto", "pinned", "mapped", "pipelined", "tuned", "auto/best", "tuned/best"}
+	headers := []string{"system", "msg", "auto", "pinned", "mapped", "pipelined", "peer", "tuned", "auto/best", "tuned/best"}
 	var rows [][]string
 	for _, sysName := range []string{"cichlid", "ricc"} {
 		sys := cluster.Systems()[sysName]
@@ -99,11 +99,11 @@ func strategyStudy() {
 			fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
 			os.Exit(1)
 		}
-		// The (size, strategy) grid plus the tuned column is 15 independent
+		// The (size, strategy) grid plus the tuned column is 18 independent
 		// measurements per system: fan it out over the sweep pool and read
 		// the indexed results back in table order.
 		sizes := []int64{64 << 10, 1 << 20, 32 << 20}
-		sts := []clmpi.Strategy{clmpi.Auto, clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined}
+		sts := []clmpi.Strategy{clmpi.Auto, clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined, clmpi.Peer}
 		cols := len(sts) + 1
 		grid, err := sweep.Map(len(sizes)*cols, func(i int) (float64, error) {
 			size, k := sizes[i/cols], i%cols

@@ -32,7 +32,7 @@ func main() {
 	system := flag.String("system", "ricc", "system to simulate: cichlid or ricc")
 	traceOut := flag.String("trace", "", "write one traced transfer as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
-	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped or pipelined")
+	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped, pipelined, pipelined(N) or peer")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes of the traced transfer")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,13 +62,13 @@ func main() {
 	if *traceOut == "" && !*metrics {
 		return
 	}
-	st, err := clmpi.ParseStrategy(*strategyName)
+	st, block, err := clmpi.ParseStrategy(*strategyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
 		os.Exit(2)
 	}
 	trc := trace.New()
-	bw, err := bench.MeasureP2PTraced(sys, st, 0, *msg, trc)
+	bw, err := bench.MeasureP2PTraced(sys, st, block, *msg, trc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-bw: traced transfer: %v\n", err)
 		os.Exit(1)

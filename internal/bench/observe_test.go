@@ -114,3 +114,43 @@ func TestMeasureP2PTracedMatchesUntraced(t *testing.T) {
 		t.Fatal("strategy selection not counted")
 	}
 }
+
+// TestXferSpansInChromeExport: a traced peer transfer records one span per
+// pipeline stage hop on the xfer layer, the per-stage metrics count them,
+// and the stage names survive into the Chrome export.
+func TestXferSpansInChromeExport(t *testing.T) {
+	trc := trace.New()
+	if _, err := MeasureP2PTraced(cluster.RICC(), clmpi.Peer, 1<<20, 4<<20, trc); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, ev := range trc.Bus().Events() {
+		if ev.Layer == trace.LayerXfer {
+			stages[ev.Name]++
+		}
+	}
+	const chunks = 4 // 4 MiB message, 1 MiB blocks
+	for stage, want := range map[string]int{
+		"setup": 2, "d2h.peer": chunks, "h2d.peer": chunks,
+		"wire.send": chunks, "wire.recv": chunks,
+	} {
+		if stages[stage] != want {
+			t.Errorf("xfer stage %q: %d spans, want %d (all: %v)", stage, stages[stage], want, stages)
+		}
+	}
+	m := trc.Bus().Metrics()
+	if c, ok := m.Counter("xfer.stage.wire.send.spans"); !ok || c != chunks {
+		t.Errorf("xfer.stage.wire.send.spans = %v, %v; want %d", c, ok, chunks)
+	}
+	var buf bytes.Buffer
+	if err := trc.Bus().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not JSON: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("d2h.peer")) {
+		t.Error("Chrome export missing the d2h.peer stage spans")
+	}
+}

@@ -31,6 +31,8 @@ package clmpi
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
@@ -40,6 +42,7 @@ import (
 var (
 	ErrBadBlock   = errors.New("clmpi: pipeline block size must be positive")
 	ErrNilRuntime = errors.New("clmpi: context has no attached runtime")
+	ErrNoPeerDMA  = errors.New("clmpi: system lacks peer DMA support")
 )
 
 // Strategy names a data-transfer implementation.
@@ -58,37 +61,55 @@ const (
 	// Pipelined splits the message into blocks staged through a
 	// preallocated pinned ring, overlapping PCIe and network hops.
 	Pipelined
+	// Peer transfers directly between the NIC and device memory
+	// (GPUDirect-style peer DMA), skipping host staging entirely. It
+	// reuses the pipelined ring discipline for its in-flight blocks and
+	// requires a system whose NIC advertises cluster.NICSpec.PeerDMA.
+	Peer
 )
 
-func (s Strategy) String() string {
-	switch s {
-	case Auto:
-		return "auto"
-	case Pinned:
-		return "pinned"
-	case Mapped:
-		return "mapped"
-	case Pipelined:
-		return "pipelined"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
+// strategyNames is the canonical name of every Strategy; String and
+// ParseStrategy are both driven by it.
+var strategyNames = map[Strategy]string{
+	Auto:      "auto",
+	Pinned:    "pinned",
+	Mapped:    "mapped",
+	Pipelined: "pipelined",
+	Peer:      "peer",
 }
 
-// ParseStrategy converts a name to a Strategy.
-func ParseStrategy(name string) (Strategy, error) {
-	switch name {
-	case "auto":
-		return Auto, nil
-	case "pinned":
-		return Pinned, nil
-	case "mapped":
-		return Mapped, nil
-	case "pipelined":
-		return Pipelined, nil
-	default:
-		return Auto, fmt.Errorf("clmpi: unknown strategy %q", name)
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
 	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// maxPipelineMiB bounds the block size accepted in pipelined(N) notation.
+const maxPipelineMiB = 4096
+
+// ParseStrategy converts a name to a Strategy. The paper's Fig. 8 notation
+// pipelined(N) — N the block size in MiB — is also accepted; the parsed
+// block size in bytes is returned as the second result (destined for
+// Options.PipelineBlock) and is 0 when the name carries no explicit block.
+func ParseStrategy(name string) (Strategy, int64, error) {
+	if rest, ok := strings.CutPrefix(name, "pipelined("); ok {
+		num, closed := strings.CutSuffix(rest, ")")
+		if !closed {
+			return Auto, 0, fmt.Errorf("clmpi: malformed strategy %q (want pipelined(N))", name)
+		}
+		n, err := strconv.ParseInt(num, 10, 64)
+		if err != nil || n <= 0 || n > maxPipelineMiB {
+			return Auto, 0, fmt.Errorf("clmpi: bad pipelined block %q: want a MiB count in [1,%d]", num, maxPipelineMiB)
+		}
+		return Pipelined, n << 20, nil
+	}
+	for st, n := range strategyNames {
+		if n == name {
+			return st, 0, nil
+		}
+	}
+	return Auto, 0, fmt.Errorf("clmpi: unknown strategy %q", name)
 }
 
 // Options configure a Fabric. Every rank of a job must use identical
@@ -100,7 +121,8 @@ type Options struct {
 	// Strategy selects the transfer implementation; Auto by default.
 	Strategy Strategy
 	// PipelineBlock is the pipelined block size in bytes (default 1 MiB).
-	// The paper's Fig. 8 sweeps this as pipelined(N).
+	// The paper's Fig. 8 sweeps this as pipelined(N), which ParseStrategy
+	// accepts. The peer strategy chunks its DMA blocks by it too.
 	PipelineBlock int64
 	// SmallCutoff is the Auto threshold, in bytes, at or below which the
 	// one-shot strategy is used instead of pipelining (default 256 KiB).
@@ -132,7 +154,7 @@ func (o Options) withDefaults() Options {
 // transferPlan is the wire protocol for one message, computed identically by
 // sender and receiver.
 type transferPlan struct {
-	strategy Strategy // resolved: Pinned, Mapped or Pipelined
+	strategy Strategy // resolved: any strategy but Auto
 	chunks   []int64  // wire message sizes, in order
 }
 
@@ -167,21 +189,12 @@ func (f *Fabric) resolvePlan(size int64, sys *cluster.System) transferPlan {
 			st = Pipelined
 		}
 	}
-	if st != Pipelined {
-		return transferPlan{strategy: st, chunks: []int64{size}}
+	if impl := strategies[st]; impl != nil {
+		return transferPlan{strategy: st, chunks: impl.chunks(b, size)}
 	}
-	var chunks []int64
-	for rem := size; rem > 0; rem -= b {
-		c := b
-		if rem < b {
-			c = rem
-		}
-		chunks = append(chunks, c)
-	}
-	if len(chunks) == 0 { // zero-byte message still needs one envelope
-		chunks = []int64{0}
-	}
-	return transferPlan{strategy: Pipelined, chunks: chunks}
+	// Unknown strategies still get a single envelope so both endpoints
+	// agree on a protocol; runSend/runRecv reject them with an error.
+	return transferPlan{strategy: st, chunks: []int64{size}}
 }
 
 // sendDatatype maps plan chunks onto the mpi layer.

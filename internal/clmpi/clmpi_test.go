@@ -439,13 +439,13 @@ func TestBadOptionsPanic(t *testing.T) {
 }
 
 func TestStrategyStringsAndParse(t *testing.T) {
-	for _, st := range []Strategy{Auto, Pinned, Mapped, Pipelined} {
-		got, err := ParseStrategy(st.String())
-		if err != nil || got != st {
-			t.Errorf("parse(%q) = %v, %v", st.String(), got, err)
+	for _, st := range []Strategy{Auto, Pinned, Mapped, Pipelined, Peer} {
+		got, block, err := ParseStrategy(st.String())
+		if err != nil || got != st || block != 0 {
+			t.Errorf("parse(%q) = %v, %d, %v", st.String(), got, block, err)
 		}
 	}
-	if _, err := ParseStrategy("bogus"); err == nil {
+	if _, _, err := ParseStrategy("bogus"); err == nil {
 		t.Error("bogus strategy parsed")
 	}
 }

@@ -1,0 +1,200 @@
+package clmpi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Transfer edge cases the xfer refactor must preserve: zero-byte messages,
+// wildcard-source locking across pipelined chunks, offset windows ending
+// exactly at the buffer boundary, and the pipelined(N) strategy syntax.
+
+// TestZeroByteSingleEnvelope: a zero-byte transfer still resolves to exactly
+// one wire envelope for every strategy — sender and receiver must agree on
+// the chunk count or the pipelined handshake deadlocks.
+func TestZeroByteSingleEnvelope(t *testing.T) {
+	sys := cluster.RICC()
+	for _, st := range []Strategy{Pinned, Mapped, Pipelined, Peer} {
+		eng := sim.NewEngine()
+		w := mpi.NewWorld(cluster.New(eng, sys, 1))
+		fab := New(w, Options{Strategy: st})
+		pl := fab.resolvePlan(0, &sys)
+		if pl.strategy != st {
+			t.Errorf("%v: resolved to %v", st, pl.strategy)
+		}
+		if len(pl.chunks) != 1 || pl.chunks[0] != 0 {
+			t.Errorf("%v: zero-byte chunks = %v, want [0]", st, pl.chunks)
+		}
+	}
+}
+
+// TestZeroByteRoundtrip: a zero-byte send/recv pair completes on every
+// strategy and leaves the destination buffer untouched.
+func TestZeroByteRoundtrip(t *testing.T) {
+	for _, st := range []Strategy{Pinned, Mapped, Pipelined, Peer} {
+		st := st
+		t.Run(st.String(), func(t *testing.T) {
+			r := newRig(t, cluster.RICC(), 2, Options{Strategy: st})
+			r.run(t, func(p *sim.Proc, rank int) {
+				rt := r.rts[rank]
+				q := r.ctxs[rank].NewQueue("q")
+				buf := r.ctxs[rank].MustCreateBuffer("b", 4096)
+				copy(buf.Bytes(), pattern(4096, byte(rank)))
+				var err error
+				if rank == 0 {
+					_, err = rt.EnqueueSendBuffer(p, q, buf, true, 128, 0, 1, 7, r.w.Comm(), nil)
+				} else {
+					_, err = rt.EnqueueRecvBuffer(p, q, buf, true, 128, 0, 0, 7, r.w.Comm(), nil)
+					if !bytes.Equal(buf.Bytes(), pattern(4096, 1)) {
+						t.Error("zero-byte recv modified the buffer")
+					}
+				}
+				if err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+			})
+		})
+	}
+}
+
+// TestWildcardSourceLockingPipelined: two senders race multi-chunk pipelined
+// transfers at a receiver posting wildcard-source recvs. Once the first chunk
+// of a transfer matches, every later chunk must come from the same sender —
+// each received payload must be one sender's pattern in full, never a mix.
+func TestWildcardSourceLockingPipelined(t *testing.T) {
+	const (
+		size  = 1 << 20
+		block = 64 << 10 // 16 chunks per transfer: plenty of interleaving room
+	)
+	r := newRig(t, cluster.RICC(), 3, Options{Strategy: Pipelined, PipelineBlock: block})
+	got := make([][]byte, 2)
+	r.run(t, func(p *sim.Proc, rank int) {
+		rt := r.rts[rank]
+		q := r.ctxs[rank].NewQueue("q")
+		buf := r.ctxs[rank].MustCreateBuffer("b", size)
+		if rank == 0 {
+			for i := range got {
+				if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, mpi.AnySource, 0, r.w.Comm(), nil); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				got[i] = append([]byte(nil), buf.Bytes()...)
+			}
+			return
+		}
+		copy(buf.Bytes(), pattern(size, byte(rank)))
+		if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 0, 0, r.w.Comm(), nil); err != nil {
+			t.Errorf("send rank %d: %v", rank, err)
+		}
+	})
+	seen := map[byte]bool{}
+	for i, g := range got {
+		matched := false
+		for _, seed := range []byte{1, 2} {
+			if bytes.Equal(g, pattern(size, seed)) {
+				matched = true
+				seen[seed] = true
+			}
+		}
+		if !matched {
+			t.Errorf("recv %d is a chunk-mixed payload (matches neither sender)", i)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("senders seen = %v, want both", seen)
+	}
+}
+
+// TestOffsetWindowAtBufferEnd: a transfer window ending exactly at the buffer
+// boundary is legal on every strategy (multi-chunk included) and one byte
+// past it is not.
+func TestOffsetWindowAtBufferEnd(t *testing.T) {
+	const (
+		bufSize = 4 << 20
+		size    = 768 << 10 // not a multiple of the 256 KiB block: odd tail chunk
+		offset  = bufSize - size
+	)
+	for _, st := range []Strategy{Pinned, Mapped, Pipelined, Peer} {
+		st := st
+		t.Run(st.String(), func(t *testing.T) {
+			r := newRig(t, cluster.Cichlid(), 2, Options{Strategy: st, PipelineBlock: 256 << 10})
+			want := pattern(size, 0x7A)
+			r.run(t, func(p *sim.Proc, rank int) {
+				rt := r.rts[rank]
+				q := r.ctxs[rank].NewQueue("q")
+				buf := r.ctxs[rank].MustCreateBuffer("b", bufSize)
+				if rank == 0 {
+					copy(buf.Bytes()[offset:], want)
+					if _, err := rt.EnqueueSendBuffer(p, q, buf, true, offset, size, 1, 0, r.w.Comm(), nil); err != nil {
+						t.Errorf("send: %v", err)
+					}
+					// One byte past the end must be rejected up front.
+					if _, err := rt.EnqueueSendBuffer(p, q, buf, true, offset+1, size, 1, 0, r.w.Comm(), nil); !errors.Is(err, cl.ErrInvalidValue) {
+						t.Errorf("past-end send err = %v, want ErrInvalidValue", err)
+					}
+				} else {
+					if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, offset, size, 0, 0, r.w.Comm(), nil); err != nil {
+						t.Errorf("recv: %v", err)
+					}
+					if !bytes.Equal(buf.Bytes()[offset:], want) {
+						t.Error("boundary window payload mismatch")
+					}
+					for _, b := range buf.Bytes()[:offset][bufSize-size-4096:] {
+						if b != 0 {
+							t.Error("recv wrote before the window")
+							break
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestParsePipelinedBlock: the pipelined(N) form selects Pipelined with an
+// N MiB block; malformed variants are rejected with Auto/0.
+func TestParsePipelinedBlock(t *testing.T) {
+	valid := map[string]int64{
+		"pipelined(1)":    1 << 20,
+		"pipelined(4)":    4 << 20,
+		"pipelined(16)":   16 << 20,
+		"pipelined(4096)": 4096 << 20,
+	}
+	for in, wantBlock := range valid {
+		st, block, err := ParseStrategy(in)
+		if err != nil || st != Pipelined || block != wantBlock {
+			t.Errorf("ParseStrategy(%q) = %v, %d, %v; want Pipelined, %d, nil", in, st, block, err, wantBlock)
+		}
+	}
+	malformed := []string{
+		"pipelined(",
+		"pipelined()",
+		"pipelined(0)",
+		"pipelined(-2)",
+		"pipelined(x)",
+		"pipelined(1) ",
+		"pipelined(1)x",
+		"pipelined(5000)",
+		"pipelined(1.5)",
+		"Pipelined(1)",
+	}
+	for _, in := range malformed {
+		st, block, err := ParseStrategy(in)
+		if err == nil {
+			t.Errorf("ParseStrategy(%q) accepted: %v, %d", in, st, block)
+		}
+		if st != Auto || block != 0 {
+			t.Errorf("ParseStrategy(%q) error case returned %v, %d; want Auto, 0", in, st, block)
+		}
+	}
+	// The bare name still parses with no block override.
+	if st, block, err := ParseStrategy("pipelined"); err != nil || st != Pipelined || block != 0 {
+		t.Errorf("ParseStrategy(pipelined) = %v, %d, %v", st, block, err)
+	}
+}

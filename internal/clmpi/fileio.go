@@ -6,6 +6,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/xfer"
 )
 
 // File I/O commands implement the paper's second future-work direction
@@ -90,72 +91,59 @@ func (rt *Runtime) fileChunks(size int64) []int64 {
 	return chunks
 }
 
+// diskWriteStage writes one window to the node-local file; the window's
+// position within the transfer maps onto the file at fileOffset.
+func (rt *Runtime) diskWriteStage(data []byte, path string, offset, fileOffset int64) xfer.Stage {
+	node := rt.ep.Node()
+	return xfer.Stage{Name: "disk.write", Run: func(p *sim.Proc, w xfer.Window) error {
+		return node.Disk.WriteAt(p, path, fileOffset+(w.Off-offset), data[w.Off:w.Off+w.N])
+	}}
+}
+
+// diskReadStage reads one window from the node-local file.
+func (rt *Runtime) diskReadStage(data []byte, path string, offset, fileOffset int64) xfer.Stage {
+	node := rt.ep.Node()
+	return xfer.Stage{Name: "disk.read", Run: func(p *sim.Proc, w xfer.Window) error {
+		return node.Disk.ReadAt(p, path, fileOffset+(w.Off-offset), data[w.Off:w.Off+w.N])
+	}}
+}
+
 // runFileWrite stages device→host blocks through the pinned ring while the
 // worker streams previous blocks to the disk.
 func (rt *Runtime) runFileWrite(wp *sim.Proc, buf *cl.Buffer, offset, size int64, path string, fileOffset int64) error {
-	node := rt.ep.Node()
-	eng := wp.Engine()
-	chunks := rt.fileChunks(size)
-	ring := sim.NewSemaphore(eng, "clmpi.fwring", rt.fab.opts.RingBuffers)
-	staged := sim.NewQueue[chunkWindow](eng, "clmpi.fwstaged")
-	off := offset
-	wins := make([]chunkWindow, 0, len(chunks))
-	for _, c := range chunks {
-		wins = append(wins, chunkWindow{off: off, n: c})
-		off += c
-	}
-	eng.SpawnDaemon(fmt.Sprintf("clmpi.fw.d2h.rank%d", rt.ep.Rank()), func(rp *sim.Proc) {
-		for _, w := range wins {
-			ring.Acquire(rp, 1)
-			rt.ctx.Device.DeviceToHost(rp, w.n, cluster.Pinned)
-			staged.Put(w)
-		}
-	})
+	seq := rt.seq
+	rt.seq++
 	data := buf.Bytes()
-	for range wins {
-		w, _ := staged.Get(wp)
-		fo := fileOffset + (w.off - offset)
-		if err := node.Disk.WriteAt(wp, path, fo, data[w.off:w.off+w.n]); err != nil {
-			return err
-		}
-		ring.Release(wp, 1)
+	pipe := xfer.Pipeline{
+		Label: fmt.Sprintf("rank%d.fwrite.t%d", rt.ep.Rank(), seq),
+		Wins:  xfer.Windows(rt.fileChunks(size), offset),
+		Ring:  rt.rings.fwrite,
+		Stages: []xfer.Stage{
+			rt.d2hStage(cluster.Pinned),
+			rt.diskWriteStage(data, path, offset, fileOffset),
+		},
+		Driver:   1,
+		Observer: rt.fab.stageObs,
 	}
-	return nil
+	return xfer.Run(wp, &pipe)
 }
 
 // runFileRead streams disk blocks into the pinned ring while a helper
 // drains them to the device.
 func (rt *Runtime) runFileRead(wp *sim.Proc, buf *cl.Buffer, offset, size int64, path string, fileOffset int64) error {
-	node := rt.ep.Node()
-	eng := wp.Engine()
-	chunks := rt.fileChunks(size)
-	ring := sim.NewSemaphore(eng, "clmpi.frring", rt.fab.opts.RingBuffers)
-	arrived := sim.NewQueue[chunkWindow](eng, "clmpi.frarrived")
-	done := sim.NewWaitGroup(eng, "clmpi.fr.h2d")
-	off := offset
-	wins := make([]chunkWindow, 0, len(chunks))
-	for _, c := range chunks {
-		wins = append(wins, chunkWindow{off: off, n: c})
-		off += c
-	}
-	done.Add(len(wins))
-	eng.SpawnDaemon(fmt.Sprintf("clmpi.fr.h2d.rank%d", rt.ep.Rank()), func(hp *sim.Proc) {
-		for range wins {
-			w, _ := arrived.Get(hp)
-			rt.ctx.Device.HostToDevice(hp, w.n, cluster.Pinned)
-			ring.Release(hp, 1)
-			done.Done()
-		}
-	})
+	seq := rt.seq
+	rt.seq++
 	data := buf.Bytes()
-	for _, w := range wins {
-		ring.Acquire(wp, 1)
-		fo := fileOffset + (w.off - offset)
-		if err := node.Disk.ReadAt(wp, path, fo, data[w.off:w.off+w.n]); err != nil {
-			return err
-		}
-		arrived.Put(w)
+	pipe := xfer.Pipeline{
+		Label: fmt.Sprintf("rank%d.fread.t%d", rt.ep.Rank(), seq),
+		Wins:  xfer.Windows(rt.fileChunks(size), offset),
+		Ring:  rt.rings.fread,
+		Stages: []xfer.Stage{
+			rt.diskReadStage(data, path, offset, fileOffset),
+			rt.h2dStage(cluster.Pinned),
+		},
+		Driver:   0,
+		Observer: rt.fab.stageObs,
 	}
-	done.Wait(wp)
-	return nil
+	return xfer.Run(wp, &pipe)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/xfer"
 )
 
 // The Fabric implements mpi.CLMemHook: when a host thread passes the CLMem
@@ -12,7 +13,16 @@ import (
 // host side of the collaboration. The peer is a communicator device whose
 // EnqueueSendBuffer/EnqueueRecvBuffer follows the same deterministic chunk
 // plan, so the two sides agree on the wire protocol without negotiation.
+// The host side has no PCIe hop, so its pipeline is the bare wire stage
+// applied to the plan's windows.
 var _ mpi.CLMemHook = (*Fabric)(nil)
+
+// hookLane names one host-side transfer's trace lane.
+func (f *Fabric) hookLane(kind string, rank int) string {
+	seq := f.seq
+	f.seq++
+	return fmt.Sprintf("rank%d.%s.t%d", rank, kind, seq)
+}
 
 // IsendCLMem sends a host buffer to a remote communicator device. The
 // returned request completes when the transport has accepted all chunks
@@ -20,16 +30,17 @@ var _ mpi.CLMemHook = (*Fabric)(nil)
 func (f *Fabric) IsendCLMem(p *sim.Proc, ep *mpi.Endpoint, buf []byte, dest, tag int, comm *mpi.Comm) (*mpi.Request, error) {
 	pl := f.plan(int64(len(buf)), ep.Node().Sys)
 	req, complete := mpi.NewUserRequest(ep.World(), fmt.Sprintf("isend(CL_MEM) %d->%d tag %d", ep.Rank(), dest, tag))
+	lane := f.hookLane("clmem.send", ep.Rank())
 	p.Spawn(fmt.Sprintf("clmem.send.rank%d", ep.Rank()), func(sp *sim.Proc) {
-		var off int64
-		for _, c := range pl.chunks {
-			if err := ep.Send(sp, buf[off:off+c], dest, tag, mpi.Bytes, comm); err != nil {
-				complete(mpi.Status{}, err)
-				return
-			}
-			off += c
+		pipe := xfer.Pipeline{
+			Label: lane,
+			Wins:  xfer.Windows(pl.chunks, 0),
+			Stages: []xfer.Stage{{Name: "wire.send", Run: func(q *sim.Proc, w xfer.Window) error {
+				return ep.Send(q, buf[w.Off:w.Off+w.N], dest, tag, wireDatatype, comm)
+			}}},
+			Observer: f.stageObs,
 		}
-		complete(mpi.Status{}, nil)
+		complete(mpi.Status{}, xfer.Run(sp, &pipe))
 	})
 	return req, nil
 }
@@ -39,20 +50,30 @@ func (f *Fabric) IsendCLMem(p *sim.Proc, ep *mpi.Endpoint, buf []byte, dest, tag
 func (f *Fabric) IrecvCLMem(p *sim.Proc, ep *mpi.Endpoint, buf []byte, src, tag int, comm *mpi.Comm) (*mpi.Request, error) {
 	pl := f.plan(int64(len(buf)), ep.Node().Sys)
 	req, complete := mpi.NewUserRequest(ep.World(), fmt.Sprintf("irecv(CL_MEM) %d<-%d tag %d", ep.Rank(), src, tag))
+	lane := f.hookLane("clmem.recv", ep.Rank())
 	p.Spawn(fmt.Sprintf("clmem.recv.rank%d", ep.Rank()), func(rp *sim.Proc) {
-		var off int64
 		actualSrc := src
-		for _, c := range pl.chunks {
-			st, err := ep.Recv(rp, buf[off:off+c], actualSrc, tag, mpi.Bytes, comm)
-			if err != nil {
-				complete(mpi.Status{}, err)
-				return
-			}
-			// Lock a wildcard source to the first chunk's sender.
-			actualSrc = st.Source
-			off += c
+		var got int64
+		pipe := xfer.Pipeline{
+			Label: lane,
+			Wins:  xfer.Windows(pl.chunks, 0),
+			Stages: []xfer.Stage{{Name: "wire.recv", Run: func(q *sim.Proc, w xfer.Window) error {
+				st, err := ep.Recv(q, buf[w.Off:w.Off+w.N], actualSrc, tag, wireDatatype, comm)
+				if err != nil {
+					return err
+				}
+				// Lock a wildcard source to the first chunk's sender.
+				actualSrc = st.Source
+				got += w.N
+				return nil
+			}}},
+			Observer: f.stageObs,
 		}
-		complete(mpi.Status{Source: actualSrc, Tag: tag, Count: int(off)}, nil)
+		if err := xfer.Run(rp, &pipe); err != nil {
+			complete(mpi.Status{}, err)
+			return
+		}
+		complete(mpi.Status{Source: actualSrc, Tag: tag, Count: int(got)}, nil)
 	})
 	return req, nil
 }

@@ -1,0 +1,181 @@
+package clmpi
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/xfer"
+)
+
+// peerRoundtrip runs one peer-strategy device→device transfer and returns
+// the elapsed sender time and whether the payload arrived intact.
+func peerRoundtrip(t *testing.T, sys cluster.System, opts Options, size int64) (time.Duration, bool) {
+	t.Helper()
+	r := newRig(t, sys, 2, opts)
+	want := pattern(size, 0x33)
+	ok := false
+	var elapsed time.Duration
+	r.run(t, func(p *sim.Proc, rank int) {
+		rt := r.rts[rank]
+		q := r.ctxs[rank].NewQueue("q")
+		buf := r.ctxs[rank].MustCreateBuffer("b", size)
+		if rank == 0 {
+			copy(buf.Bytes(), want)
+			start := p.Now()
+			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, r.w.Comm(), nil); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			elapsed = p.Now().Sub(start)
+		} else {
+			if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, r.w.Comm(), nil); err != nil {
+				t.Errorf("recv: %v", err)
+			}
+			ok = bytes.Equal(buf.Bytes(), want)
+		}
+	})
+	return elapsed, ok
+}
+
+// TestPeerRoundtrip: the peer strategy moves data end to end on both preset
+// systems, and skipping host staging beats pinned one-shot for a large
+// message (the strategy's whole reason to exist).
+func TestPeerRoundtrip(t *testing.T) {
+	const size = 32 << 20
+	for _, sys := range []cluster.System{cluster.Cichlid(), cluster.RICC()} {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			elapsed, ok := peerRoundtrip(t, sys, Options{Strategy: Peer, PipelineBlock: 1 << 20}, size)
+			if !ok {
+				t.Fatal("peer payload mismatch")
+			}
+			bw := float64(size) / elapsed.Seconds()
+			if bw <= 0 {
+				t.Fatalf("peer bandwidth = %v", bw)
+			}
+			r2 := newRig(t, sys, 2, Options{Strategy: Pinned})
+			var pinnedElapsed time.Duration
+			r2.run(t, func(p *sim.Proc, rank int) {
+				rt := r2.rts[rank]
+				q := r2.ctxs[rank].NewQueue("q")
+				buf := r2.ctxs[rank].MustCreateBuffer("b", size)
+				if rank == 0 {
+					start := p.Now()
+					if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, r2.w.Comm(), nil); err != nil {
+						t.Errorf("send: %v", err)
+					}
+					pinnedElapsed = p.Now().Sub(start)
+				} else if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, r2.w.Comm(), nil); err != nil {
+					t.Errorf("recv: %v", err)
+				}
+			})
+			if elapsed >= pinnedElapsed {
+				t.Errorf("peer (%v) not faster than pinned one-shot (%v) at %d bytes", elapsed, pinnedElapsed, size)
+			}
+		})
+	}
+}
+
+// TestPeerStageSpans: every peer pipeline hop emits a span through the
+// fabric's stage observer — the setup charge, the peer-rate DMA hops and the
+// wire hops — on rank/seq-labelled lanes.
+func TestPeerStageSpans(t *testing.T) {
+	const (
+		size  = 2 << 20
+		block = 1 << 20
+	)
+	r := newRig(t, cluster.RICC(), 2, Options{Strategy: Peer, PipelineBlock: block})
+	var spans []xfer.Span
+	r.fab.SetStageObserver(func(s xfer.Span) { spans = append(spans, s) })
+	r.run(t, func(p *sim.Proc, rank int) {
+		rt := r.rts[rank]
+		q := r.ctxs[rank].NewQueue("q")
+		buf := r.ctxs[rank].MustCreateBuffer("b", size)
+		if rank == 0 {
+			if _, err := rt.EnqueueSendBuffer(p, q, buf, true, 0, size, 1, 0, r.w.Comm(), nil); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else if _, err := rt.EnqueueRecvBuffer(p, q, buf, true, 0, size, 0, 0, r.w.Comm(), nil); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	})
+	const chunks = size / block
+	wantCount := map[string]int{
+		"setup":     2,      // one peer-mapping registration per side
+		"d2h.peer":  chunks, // sender DMA hops
+		"h2d.peer":  chunks, // receiver DMA hops
+		"wire.send": chunks,
+		"wire.recv": chunks,
+	}
+	gotCount := map[string]int{}
+	for _, s := range spans {
+		gotCount[s.Stage]++
+		if s.End < s.Start {
+			t.Errorf("span %s on %s inverted: %v > %v", s.Stage, s.Lane, s.Start, s.End)
+		}
+		switch s.Stage {
+		case "setup":
+			if s.Bytes != 0 {
+				t.Errorf("setup span carries %d bytes", s.Bytes)
+			}
+		default:
+			if s.Bytes != block {
+				t.Errorf("span %s bytes = %d, want %d", s.Stage, s.Bytes, block)
+			}
+		}
+		wantLane := "rank0.send.t0"
+		if s.Stage == "wire.recv" || s.Stage == "h2d.peer" || (s.Stage == "setup" && strings.Contains(s.Lane, "recv")) {
+			wantLane = "rank1.recv.t0"
+		}
+		if s.Stage != "setup" && s.Lane != wantLane {
+			t.Errorf("span %s lane = %s, want %s", s.Stage, s.Lane, wantLane)
+		}
+	}
+	for stage, n := range wantCount {
+		if gotCount[stage] != n {
+			t.Errorf("stage %s: %d spans, want %d (all: %v)", stage, gotCount[stage], n, gotCount)
+		}
+	}
+}
+
+// TestPeerUnsupportedSystem: a system whose NIC cannot do peer DMA rejects
+// the strategy with ErrNoPeerDMA instead of silently falling back.
+func TestPeerUnsupportedSystem(t *testing.T) {
+	sys := cluster.RICC()
+	sys.NIC.PeerDMA = false
+	r := newRig(t, sys, 2, Options{Strategy: Peer})
+	r.run(t, func(p *sim.Proc, rank int) {
+		rt := r.rts[rank]
+		q := r.ctxs[rank].NewQueue("q")
+		buf := r.ctxs[rank].MustCreateBuffer("b", 1<<20)
+		var err error
+		if rank == 0 {
+			_, err = rt.EnqueueSendBuffer(p, q, buf, true, 0, 1<<20, 1, 0, r.w.Comm(), nil)
+		} else {
+			_, err = rt.EnqueueRecvBuffer(p, q, buf, true, 0, 1<<20, 0, 0, r.w.Comm(), nil)
+		}
+		if !errors.Is(err, ErrNoPeerDMA) {
+			t.Errorf("rank %d err = %v, want ErrNoPeerDMA", rank, err)
+		}
+	})
+}
+
+// TestTuneSkipsPeerWhenUnsupported: the measurement-based tuner never selects
+// peer on a system without peer DMA, and its table stays usable.
+func TestTuneSkipsPeerWhenUnsupported(t *testing.T) {
+	sys := cluster.RICC()
+	sys.NIC.PeerDMA = false
+	opts, err := Tune(sys)
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	for _, e := range opts.Table {
+		if e.St == Peer {
+			t.Errorf("tuner selected peer at sizes up to %d on a system without peer DMA", e.MaxBytes)
+		}
+	}
+}

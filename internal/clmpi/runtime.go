@@ -6,6 +6,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/xfer"
 )
 
 // Fabric is the job-wide state of the extension: shared options and the
@@ -20,12 +21,25 @@ type Fabric struct {
 	// the chosen strategy and message size. Each message resolves a plan on
 	// both endpoints, so a point-to-point transfer reports twice.
 	onPlan func(st Strategy, size int64)
+
+	// stageObs, when set, receives a span for every (stage, window) the
+	// xfer engine executes on behalf of this fabric.
+	stageObs xfer.Observer
+
+	// seq numbers the fabric's host-side (CLMem hook) transfers for trace
+	// lanes; device-side transfers use the per-Runtime counter.
+	seq uint64
 }
 
 // SetPlanObserver installs a callback invoked on every transfer-plan
 // resolution (nil to remove); the observability layer uses it to count
 // strategy selections per message size.
 func (f *Fabric) SetPlanObserver(fn func(st Strategy, size int64)) { f.onPlan = fn }
+
+// SetStageObserver installs a callback receiving one xfer.Span per pipeline
+// stage hop (nil to remove); the observability layer maps them onto the
+// trace bus's xfer layer. Observation never affects virtual time.
+func (f *Fabric) SetStageObserver(fn xfer.Observer) { f.stageObs = fn }
 
 // New creates the extension fabric for a world and registers its MPI_CL_MEM
 // handler. All ranks share the options (see Options). Negative option values
@@ -62,12 +76,34 @@ type Runtime struct {
 	fab *Fabric
 	ctx *cl.Context
 	ep  *mpi.Endpoint
+
+	// seq numbers this runtime's transfers so concurrent pipelines stay
+	// distinguishable in traces (lane "rank<r>.<kind>.t<seq>").
+	seq uint64
+
+	// rings are the preallocated pinned staging rings — one credit per
+	// in-flight pipeline block, created once at Attach rather than per
+	// transfer (the "preallocated" claim in cluster.GPUSpec.PinSetup).
+	// One ring per direction and per subsystem: concurrent transfers of
+	// the same direction on one runtime share that direction's credits,
+	// which also bounds the rank's total staging memory.
+	rings struct {
+		send, recv, fwrite, fread *sim.Semaphore
+	}
 }
 
-// Attach binds a context and endpoint, returning the rank's runtime.
+// Attach binds a context and endpoint, returning the rank's runtime. The
+// runtime's staging rings are preallocated here, labelled by rank.
 func (f *Fabric) Attach(ctx *cl.Context, ep *mpi.Endpoint) *Runtime {
 	rt := &Runtime{fab: f, ctx: ctx, ep: ep}
-	f.rts[ep.Rank()] = rt
+	eng := ctx.Engine()
+	rank := ep.Rank()
+	depth := f.opts.RingBuffers
+	rt.rings.send = sim.NewSemaphore(eng, fmt.Sprintf("clmpi.sendring.rank%d", rank), depth)
+	rt.rings.recv = sim.NewSemaphore(eng, fmt.Sprintf("clmpi.recvring.rank%d", rank), depth)
+	rt.rings.fwrite = sim.NewSemaphore(eng, fmt.Sprintf("clmpi.fwring.rank%d", rank), depth)
+	rt.rings.fread = sim.NewSemaphore(eng, fmt.Sprintf("clmpi.frring.rank%d", rank), depth)
+	f.rts[rank] = rt
 	return rt
 }
 

@@ -24,8 +24,8 @@ import (
 // CutoffEntry selects a strategy for message sizes up to MaxBytes.
 type CutoffEntry struct {
 	MaxBytes int64
-	St       Strategy // resolved: Pinned, Mapped or Pipelined
-	Block    int64    // pipelined block size (0 for one-shot strategies)
+	St       Strategy // resolved: any strategy but Auto
+	Block    int64    // pipeline block size (0 for one-shot strategies)
 }
 
 // tuneSizes is the calibration sweep.
@@ -51,6 +51,7 @@ func tuneCandidates() []struct {
 		{Pipelined, 256 << 10},
 		{Pipelined, 1 << 20},
 		{Pipelined, 4 << 20},
+		{Peer, 1 << 20},
 	}
 }
 
@@ -63,6 +64,16 @@ func Tune(sys cluster.System) (Options, error) {
 	var table []CutoffEntry
 	sizes := tuneSizes()
 	cands := tuneCandidates()
+	if !sys.NIC.PeerDMA || sys.GPU.PeerBW <= 0 {
+		// Systems without peer DMA cannot run the peer candidate.
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.st != Peer {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
 	// Every probe is an independent scratch simulation: run the whole
 	// (size, candidate) grid through the sweep pool, then pick winners from
 	// the indexed results in candidate order — the same argmax (first

@@ -35,6 +35,10 @@ const (
 	// Mapped is device memory mapped into the host address space
 	// (clEnqueueMapBuffer); low setup cost, reduced sustained bandwidth.
 	Mapped
+	// Peer is no host memory at all: the NIC DMAs against device memory
+	// directly (GPUDirect-style). The PCIe hop still serializes on the
+	// device's slot, at the peer-to-peer rate.
+	Peer
 )
 
 func (k HostMemKind) String() string {
@@ -45,6 +49,8 @@ func (k HostMemKind) String() string {
 		return "pinned"
 	case Mapped:
 		return "mapped"
+	case Peer:
+		return "peer"
 	default:
 		return fmt.Sprintf("HostMemKind(%d)", int(k))
 	}
@@ -70,6 +76,11 @@ type GPUSpec struct {
 	PinnedBW   float64
 	PageableBW float64
 	MappedBW   float64
+	// PeerBW is the NIC↔GPU peer-to-peer DMA rate (GPUDirect-style); 0
+	// means the GPU cannot be a peer DMA target. Peer transactions cross
+	// the PCIe root complex, so sustained rates sit slightly below the
+	// pinned host DMA rate on most platforms.
+	PeerBW float64
 
 	// DMALatency is charged once per PCIe transfer (descriptor setup).
 	DMALatency time.Duration
@@ -80,6 +91,10 @@ type GPUSpec struct {
 	// MapSetup is the cost of clEnqueueMapBuffer/clEnqueueUnmapMemObject
 	// bookkeeping, paid per map or unmap.
 	MapSetup time.Duration
+	// PeerSetup is the one-time cost of exposing a device memory region
+	// to the NIC for peer DMA (BAR mapping and NIC registration), paid
+	// once per peer transfer.
+	PeerSetup time.Duration
 	// KernelLaunch is the fixed host→device launch overhead per kernel.
 	KernelLaunch time.Duration
 }
@@ -91,6 +106,8 @@ func (g *GPUSpec) PCIeBW(kind HostMemKind) float64 {
 		return g.PinnedBW
 	case Mapped:
 		return g.MappedBW
+	case Peer:
+		return g.PeerBW
 	default:
 		return g.PageableBW
 	}
@@ -116,6 +133,9 @@ type NICSpec struct {
 	// communication patterns (all-to-all, wide fan-in) contend beyond
 	// their endpoint NICs.
 	Backplane float64
+	// PeerDMA reports whether the NIC can DMA directly against device
+	// memory (GPUDirect-style); the clmpi peer strategy requires it.
+	PeerDMA bool
 }
 
 // System is a complete cluster configuration (one row of Table I).

@@ -37,6 +37,13 @@ func Cichlid() System {
 			PinnedBW:   5.0e9,
 			PageableBW: 2.2e9,
 			MappedBW:   2.9e9,
+			// Counterfactual: GPUDirect RDMA postdates these GPUs (it
+			// shipped with Kepler). Modelled anyway so the peer strategy
+			// can be ablated — DMA across the root complex sustains a bit
+			// below the pinned host rate, and exposing a device region to
+			// the NIC is far cheaper than page-locking a fresh buffer.
+			PeerBW:     4.8e9,
+			PeerSetup:  20 * time.Microsecond,
 			DMALatency: 10 * time.Microsecond,
 			// CUDA 4.1-era page-locking of a fresh staging buffer is
 			// expensive; the one-shot pinned path pays this per
@@ -52,6 +59,7 @@ func Cichlid() System {
 			BW:          117e6, // 1 Gb/s minus TCP/IP framing
 			WireLatency: 30 * time.Microsecond,
 			MsgOverhead: 25 * time.Microsecond,
+			PeerDMA:     true, // counterfactual, see GPUSpec.PeerBW
 		},
 		Disk: DiskSpec{
 			Model: "7200rpm SATA HDD",
@@ -101,7 +109,11 @@ func RICC() System {
 			// Pre-Fermi mapped (zero-copy) access is slow; combined
 			// with a cheaper pinning path in the CUDA 4.2 driver this
 			// makes pinned strictly better on RICC, matching Fig. 8(b).
-			MappedBW:     0.8e9,
+			MappedBW: 0.8e9,
+			// Counterfactual peer-DMA figures, as on Cichlid: just under
+			// the pinned DMA rate, with a cheap region registration.
+			PeerBW:       5.0e9,
+			PeerSetup:    15 * time.Microsecond,
 			DMALatency:   12 * time.Microsecond,
 			PinSetup:     80 * time.Microsecond,
 			MapSetup:     50 * time.Microsecond,
@@ -120,6 +132,7 @@ func RICC() System {
 			BW:          1.3e9,
 			WireLatency: 18 * time.Microsecond,
 			MsgOverhead: 15 * time.Microsecond,
+			PeerDMA:     true, // counterfactual, see GPUSpec.PeerBW
 		},
 		OS:              "RHEL 5.3",
 		Compiler:        "Intel Compiler 11.1",

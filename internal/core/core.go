@@ -27,6 +27,7 @@ const (
 	Pinned    = clmpi.Pinned
 	Mapped    = clmpi.Mapped
 	Pipelined = clmpi.Pipelined
+	Peer      = clmpi.Peer
 )
 
 // New creates the extension fabric; see clmpi.New.

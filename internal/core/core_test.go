@@ -13,10 +13,10 @@ import (
 // TestAliasSurface exercises the re-exported API end to end: the aliases
 // must be usable exactly like the originals.
 func TestAliasSurface(t *testing.T) {
-	if got, err := ParseStrategy("pipelined"); err != nil || got != Pipelined {
-		t.Fatalf("ParseStrategy = %v, %v", got, err)
+	if got, block, err := ParseStrategy("pipelined(2)"); err != nil || got != Pipelined || block != 2<<20 {
+		t.Fatalf("ParseStrategy = %v, %d, %v", got, block, err)
 	}
-	for _, s := range []Strategy{Auto, Pinned, Mapped, Pipelined} {
+	for _, s := range []Strategy{Auto, Pinned, Mapped, Pipelined, Peer} {
 		if s.String() == "" {
 			t.Fatalf("strategy %d has no name", s)
 		}

@@ -24,6 +24,10 @@ const (
 	// LayerApp carries application-level markers such as Himeno iteration
 	// boundaries.
 	LayerApp = "app"
+	// LayerXfer carries the transfer-pipeline engine's per-stage spans
+	// (internal/xfer, via the fabric's stage observer): one lane per
+	// transfer, one span per (stage, window) hop.
+	LayerXfer = "xfer"
 )
 
 // Phase distinguishes event shapes, mirroring the Chrome trace_event

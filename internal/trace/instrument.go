@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/xfer"
 )
 
 // Instrument attaches the tracer's bus to every instrumentable layer of a
@@ -27,6 +28,12 @@ func (t *Tracer) Instrument(clus *cluster.Cluster, world *mpi.World, fab *clmpi.
 		fab.SetPlanObserver(func(st clmpi.Strategy, size int64) {
 			m.Add("clmpi.strategy."+st.String(), 1)
 			m.Observe("clmpi.plan_bytes", float64(size))
+		})
+		fab.SetStageObserver(func(sp xfer.Span) {
+			b.Span(LayerXfer, sp.Lane, sp.Stage, sp.Start, sp.End, AInt("bytes", sp.Bytes))
+			m.Add("xfer.stage."+sp.Stage+".spans", 1)
+			m.Add("xfer.stage."+sp.Stage+".bytes", float64(sp.Bytes))
+			m.Add("xfer.stage."+sp.Stage+".busy_ns", float64(sp.End.Sub(sp.Start)))
 		})
 	}
 }

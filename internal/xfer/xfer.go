@@ -1,0 +1,222 @@
+// Package xfer is the staged transfer-pipeline engine behind every data
+// movement of the reproduction. A transfer is described as a Pipeline: an
+// ordered chain of Stages (a PCIe hop, a wire send, a disk write, a fixed
+// setup cost) applied to a sequence of Windows (the wire-protocol blocks of
+// the transferred range). The engine executes the chain on simulation
+// processes with the overlap semantics the paper's runtime thread gets by
+// hand (§III):
+//
+//   - Without a Ring, the chain runs inline on the calling process — each
+//     window flows through every stage in order before the next window
+//     starts. This is the one-shot shape of the pinned and mapped
+//     implementations (their single window visits setup, PCIe and wire
+//     stages back to back).
+//
+//   - With a Ring, the chain is overlapped: every stage except the Driver
+//     runs on its own helper process, stages are connected by unbounded
+//     queues, and the bounded ring semaphore — acquired by the first stage
+//     per window, released by the last — limits the windows in flight to
+//     the ring depth. This is the pipelined shape: the PCIe hop of block
+//     k+1 proceeds while block k is on the wire.
+//
+// The engine is deliberately free of policy: which stages make up a
+// strategy, their chunking, and their cost models live in the callers
+// (internal/clmpi registers them in its strategy table). It is also free of
+// tracing dependencies — callers receive Spans through an Observer and
+// forward them to internal/trace, which keeps this package importable from
+// the packages trace itself instruments.
+package xfer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Window is one wire-protocol block of a transferred range.
+type Window struct {
+	Off int64 // absolute offset within the buffer
+	N   int64 // bytes
+}
+
+// Windows lays chunk sizes over the range starting at offset.
+func Windows(chunks []int64, offset int64) []Window {
+	out := make([]Window, 0, len(chunks))
+	off := offset
+	for _, c := range chunks {
+		out = append(out, Window{Off: off, N: c})
+		off += c
+	}
+	return out
+}
+
+// Span reports one executed stage hop: stage Stage of pipeline Lane
+// processed Bytes over [Start, End) of virtual time.
+type Span struct {
+	Lane  string // the pipeline's Label
+	Stage string // the stage's Name
+	Start sim.Time
+	End   sim.Time
+	Bytes int64
+}
+
+// Observer receives a Span each time a stage finishes one window.
+type Observer func(Span)
+
+// Stage is one hop of a transfer chain. Run moves one window and charges
+// its cost against virtual time; a nil Run makes the stage a fixed-cost
+// hop that sleeps Sleep (setup stages: pinning, mapping, unmapping).
+type Stage struct {
+	Name  string
+	Sleep time.Duration
+	Run   func(p *sim.Proc, w Window) error
+}
+
+// Pipeline describes one transfer: Wins flowing through Stages.
+type Pipeline struct {
+	// Label names the transfer; it becomes the Lane of emitted spans and
+	// prefixes helper-process and queue labels.
+	Label string
+	// Wins are the wire-protocol blocks, in transfer order.
+	Wins []Window
+	// Stages is the chain, in data-flow order.
+	Stages []Stage
+	// Ring, when non-nil, selects overlapped execution bounded by the
+	// ring's credits (one per in-flight window). Nil runs the chain
+	// inline on the calling process.
+	Ring *sim.Semaphore
+	// Driver is the index of the stage the calling process itself runs in
+	// overlapped mode; every other stage gets a helper process. Ignored
+	// when Ring is nil.
+	Driver int
+	// Setup is a one-time virtual-time cost charged on the calling
+	// process before any window flows (e.g. peer-DMA descriptor mapping).
+	Setup time.Duration
+	// Observer, when non-nil, receives a Span per (stage, window).
+	Observer Observer
+
+	err error // first helper-stage failure, reported by Run
+}
+
+// run executes stage s for one window on p and reports the span.
+func (pl *Pipeline) run(p *sim.Proc, s *Stage, w Window) error {
+	start := p.Now()
+	var err error
+	bytes := w.N
+	if s.Run != nil {
+		err = s.Run(p, w)
+	} else {
+		p.Sleep(s.Sleep)
+		bytes = 0 // fixed-cost hop, no payload
+	}
+	if pl.Observer != nil {
+		pl.Observer(Span{Lane: pl.Label, Stage: s.Name, Start: start, End: p.Now(), Bytes: bytes})
+	}
+	return err
+}
+
+// Run executes the pipeline on the calling process wp, returning when every
+// window has cleared the final stage (or on the first failure of the
+// driver's stage; helper-stage failures are returned after the windows
+// drain). A pipeline with no stages or no windows is a no-op.
+func Run(wp *sim.Proc, pl *Pipeline) error {
+	if len(pl.Stages) == 0 || len(pl.Wins) == 0 {
+		return nil
+	}
+	if pl.Setup > 0 {
+		start := wp.Now()
+		wp.Sleep(pl.Setup)
+		if pl.Observer != nil {
+			pl.Observer(Span{Lane: pl.Label, Stage: "setup", Start: start, End: wp.Now()})
+		}
+	}
+	if pl.Ring == nil || len(pl.Stages) == 1 {
+		for _, w := range pl.Wins {
+			for i := range pl.Stages {
+				if err := pl.run(wp, &pl.Stages[i], w); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return pl.runOverlapped(wp)
+}
+
+// runOverlapped spawns one helper process per non-driver stage, wires the
+// stages with queues, and drives the ring-bounded flow.
+func (pl *Pipeline) runOverlapped(wp *sim.Proc) error {
+	n := len(pl.Stages)
+	d := pl.Driver
+	if d < 0 || d >= n {
+		panic(fmt.Sprintf("xfer: driver index %d outside %d stages", d, n))
+	}
+	eng := wp.Engine()
+	// qs[i] carries windows from stage i to stage i+1.
+	qs := make([]*sim.Queue[Window], n-1)
+	for i := range qs {
+		qs[i] = sim.NewQueue[Window](eng, fmt.Sprintf("%s.q%d", pl.Label, i))
+	}
+	// When stages run downstream of the driver, the driver finishes
+	// feeding before the last window clears the chain; the wait group
+	// holds Run until the final stage has drained everything.
+	var done *sim.WaitGroup
+	if d < n-1 {
+		done = sim.NewWaitGroup(eng, pl.Label+".done")
+		done.Add(len(pl.Wins))
+	}
+	for i := range pl.Stages {
+		if i == d {
+			continue
+		}
+		i := i
+		eng.SpawnDaemon(fmt.Sprintf("%s.%s", pl.Label, pl.Stages[i].Name), func(hp *sim.Proc) {
+			pl.stageLoop(hp, i, qs, done)
+		})
+	}
+	if err := pl.stageLoop(wp, d, qs, done); err != nil {
+		// Driver-stage failure: abandon the helpers mid-flight, exactly
+		// as the hand-rolled loops returned without draining. Helpers
+		// are daemons, so parking forever is legal.
+		return err
+	}
+	if done != nil {
+		done.Wait(wp)
+	}
+	return pl.err
+}
+
+// stageLoop runs stage i for every window: acquiring a ring credit (first
+// stage) or pulling from the upstream queue, executing the hop, then
+// forwarding downstream or releasing the credit (last stage). After a
+// failure anywhere, remaining windows pass through without executing so
+// the chain still drains deterministically.
+func (pl *Pipeline) stageLoop(p *sim.Proc, i int, qs []*sim.Queue[Window], done *sim.WaitGroup) error {
+	last := i == len(pl.Stages)-1
+	for _, win := range pl.Wins {
+		w := win
+		if i == 0 {
+			pl.Ring.Acquire(p, 1)
+		} else {
+			w, _ = qs[i-1].Get(p)
+		}
+		if pl.err == nil {
+			if err := pl.run(p, &pl.Stages[i], w); err != nil {
+				pl.err = err
+				if i == pl.Driver {
+					return err
+				}
+			}
+		}
+		if !last {
+			qs[i].Put(w)
+		} else {
+			pl.Ring.Release(p, 1)
+			if done != nil {
+				done.Done()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package xfer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// record is one observed stage execution, captured by the test stages
+// themselves (order of execution) and by the pipeline observer (spans).
+type record struct {
+	stage string
+	win   Window
+	at    sim.Time
+}
+
+// recStage returns a stage that sleeps d per window and logs its runs.
+func recStage(name string, d time.Duration, log *[]record) Stage {
+	return Stage{Name: name, Run: func(p *sim.Proc, w Window) error {
+		*log = append(*log, record{stage: name, win: w, at: p.Now()})
+		p.Sleep(d)
+		return nil
+	}}
+}
+
+// runPipeline executes an inline (ring-less) pipeline on a fresh engine.
+func runPipeline(t *testing.T, pl *Pipeline) (time.Duration, error) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var err error
+	eng.Spawn("driver", func(p *sim.Proc) { err = Run(p, pl) })
+	if rerr := eng.Run(); rerr != nil {
+		t.Fatalf("engine: %v", rerr)
+	}
+	return eng.Now().Duration(), err
+}
+
+func TestWindowsLayout(t *testing.T) {
+	wins := Windows([]int64{4, 4, 2}, 100)
+	want := []Window{{100, 4}, {104, 4}, {108, 2}}
+	if len(wins) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(wins), len(want))
+	}
+	for i, w := range wins {
+		if w != want[i] {
+			t.Errorf("window %d = %+v, want %+v", i, w, want[i])
+		}
+	}
+	if got := Windows(nil, 5); len(got) != 0 {
+		t.Errorf("empty chunks produced %v", got)
+	}
+}
+
+// TestInlineOrder: without a ring, each window visits every stage before
+// the next window starts, on the calling process.
+func TestInlineOrder(t *testing.T) {
+	var log []record
+	pl := &Pipeline{
+		Label: "inline",
+		Wins:  Windows([]int64{10, 10}, 0),
+		Stages: []Stage{
+			recStage("a", time.Millisecond, &log),
+			recStage("b", time.Millisecond, &log),
+		},
+	}
+	if _, err := runPipeline(t, pl); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b"}
+	if len(log) != len(want) {
+		t.Fatalf("got %d stage runs, want %d", len(log), len(want))
+	}
+	for i, r := range log {
+		if r.stage != want[i] {
+			t.Errorf("run %d = %s, want %s", i, r.stage, want[i])
+		}
+	}
+	if log[2].win.Off != 10 {
+		t.Errorf("second window offset = %d, want 10", log[2].win.Off)
+	}
+}
+
+// TestSetupAndSleepStages: Setup charges once up front; a nil-Run stage
+// sleeps its fixed cost per window.
+func TestSetupAndSleepStages(t *testing.T) {
+	var log []record
+	pl := &Pipeline{
+		Label: "setup",
+		Setup: 5 * time.Millisecond,
+		Wins:  Windows([]int64{1, 1}, 0),
+		Stages: []Stage{
+			{Name: "fixed", Sleep: time.Millisecond},
+			recStage("work", time.Millisecond, &log),
+		},
+	}
+	elapsed, err := runPipeline(t, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// setup 5ms + 2 × (1ms fixed + 1ms work) = 9ms
+	if want := 9 * time.Millisecond; elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+}
+
+// overlapped builds a 2-stage ring pipeline on a fresh engine (the ring
+// must live on the same engine the pipeline runs on).
+func overlapped(t *testing.T, nwins int, depth int, da, db time.Duration, driver int) (time.Duration, []record) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var log []record
+	chunks := make([]int64, nwins)
+	for i := range chunks {
+		chunks[i] = 10
+	}
+	pl := &Pipeline{
+		Label:  "ov",
+		Wins:   Windows(chunks, 0),
+		Ring:   sim.NewSemaphore(eng, "ov.ring", depth),
+		Driver: driver,
+		Stages: []Stage{
+			recStage("a", da, &log),
+			recStage("b", db, &log),
+		},
+	}
+	var err error
+	eng.Spawn("driver", func(p *sim.Proc) { err = Run(p, pl) })
+	if rerr := eng.Run(); rerr != nil {
+		t.Fatalf("engine: %v", rerr)
+	}
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return eng.Now().Duration(), log
+}
+
+// TestOverlapPipelines: with a deep ring, total time approaches
+// first-stage-fill + N×slowest-stage instead of N×(a+b).
+func TestOverlapPipelines(t *testing.T) {
+	const n = 8
+	a, b := 2*time.Millisecond, 3*time.Millisecond
+	elapsed, log := overlapped(t, n, 4, a, b, 1)
+	if len(log) != 2*n {
+		t.Fatalf("stage runs = %d, want %d", len(log), 2*n)
+	}
+	want := a + n*b // fill one block, then the slow stage back to back
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v (serial would be %v)", elapsed, want, n*(a+b))
+	}
+}
+
+// TestRingBoundsInFlight: depth 1 removes all overlap — the pipeline
+// degenerates to the serial schedule because stage a can't start window
+// k+1 until window k released its credit.
+func TestRingBoundsInFlight(t *testing.T) {
+	const n = 5
+	a, b := 2*time.Millisecond, 3*time.Millisecond
+	elapsed, _ := overlapped(t, n, 1, a, b, 1)
+	if want := n * (a + b); elapsed != want {
+		t.Fatalf("depth-1 elapsed = %v, want serial %v", elapsed, want)
+	}
+}
+
+// TestDriverFirstStage: the recv shape — the driver feeds stage 0 and a
+// helper drains the last stage; Run must not return before the helper has
+// finished every window.
+func TestDriverFirstStage(t *testing.T) {
+	const n = 4
+	a, b := 3*time.Millisecond, 2*time.Millisecond
+	elapsed, log := overlapped(t, n, 3, a, b, 0)
+	if want := n*a + b; elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	last := log[len(log)-1]
+	if last.stage != "b" {
+		t.Fatalf("final stage run was %s, want b", last.stage)
+	}
+}
+
+// TestDriverErrorAbandonsHelpers: a driver-stage failure surfaces
+// immediately; the daemons park forever, which the engine tolerates.
+func TestDriverErrorAbandonsHelpers(t *testing.T) {
+	boom := errors.New("wire down")
+	eng := sim.NewEngine()
+	calls := 0
+	pl := &Pipeline{
+		Label:  "err",
+		Wins:   Windows([]int64{1, 1, 1}, 0),
+		Ring:   sim.NewSemaphore(eng, "err.ring", 2),
+		Driver: 1,
+		Stages: []Stage{
+			{Name: "a", Run: func(p *sim.Proc, w Window) error { return nil }},
+			{Name: "b", Run: func(p *sim.Proc, w Window) error {
+				calls++
+				if calls == 2 {
+					return boom
+				}
+				return nil
+			}},
+		},
+	}
+	var err error
+	eng.Spawn("driver", func(p *sim.Proc) { err = Run(p, pl) })
+	if rerr := eng.Run(); rerr != nil {
+		t.Fatalf("engine: %v", rerr)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 2 {
+		t.Fatalf("driver stage ran %d times, want 2", calls)
+	}
+}
+
+// TestHelperErrorDrains: a helper-stage failure is reported by Run after
+// the chain drains; the failed stage does not run for later windows.
+func TestHelperErrorDrains(t *testing.T) {
+	boom := errors.New("pcie fault")
+	eng := sim.NewEngine()
+	helperRuns, driverRuns := 0, 0
+	pl := &Pipeline{
+		Label:  "herr",
+		Wins:   Windows([]int64{1, 1, 1}, 0),
+		Ring:   sim.NewSemaphore(eng, "herr.ring", 2),
+		Driver: 1,
+		Stages: []Stage{
+			{Name: "a", Run: func(p *sim.Proc, w Window) error {
+				helperRuns++
+				return boom
+			}},
+			{Name: "b", Run: func(p *sim.Proc, w Window) error {
+				driverRuns++
+				return nil
+			}},
+		},
+	}
+	var err error
+	eng.Spawn("driver", func(p *sim.Proc) { err = Run(p, pl) })
+	if rerr := eng.Run(); rerr != nil {
+		t.Fatalf("engine: %v", rerr)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if helperRuns != 1 || driverRuns != 0 {
+		t.Fatalf("helper ran %d times, driver %d; want 1, 0", helperRuns, driverRuns)
+	}
+}
+
+// TestObserverSpans: one span per (stage, window) with the pipeline's
+// label as lane, payload bytes, and monotone non-inverted times; fixed-cost
+// stages report zero bytes and the Setup span comes first.
+func TestObserverSpans(t *testing.T) {
+	eng := sim.NewEngine()
+	var spans []Span
+	pl := &Pipeline{
+		Label:    "obs",
+		Setup:    time.Millisecond,
+		Wins:     Windows([]int64{7, 7}, 0),
+		Observer: func(s Span) { spans = append(spans, s) },
+		Stages: []Stage{
+			{Name: "fixed", Sleep: time.Millisecond},
+			{Name: "work", Run: func(p *sim.Proc, w Window) error { p.Sleep(time.Millisecond); return nil }},
+		},
+	}
+	eng.Spawn("driver", func(p *sim.Proc) {
+		if err := Run(p, pl); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"setup", "fixed", "work", "fixed", "work"}
+	if len(spans) != len(wantStages) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(wantStages))
+	}
+	for i, s := range spans {
+		if s.Stage != wantStages[i] {
+			t.Errorf("span %d stage = %s, want %s", i, s.Stage, wantStages[i])
+		}
+		if s.Lane != "obs" {
+			t.Errorf("span %d lane = %s", i, s.Lane)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %d inverted: %v > %v", i, s.Start, s.End)
+		}
+		wantBytes := int64(7)
+		if s.Stage == "setup" || s.Stage == "fixed" {
+			wantBytes = 0
+		}
+		if s.Bytes != wantBytes {
+			t.Errorf("span %d (%s) bytes = %d, want %d", i, s.Stage, s.Bytes, wantBytes)
+		}
+	}
+}
+
+// TestEmptyPipelines: no stages or no windows is a no-op.
+func TestEmptyPipelines(t *testing.T) {
+	for name, pl := range map[string]*Pipeline{
+		"no-stages":  {Label: "e", Wins: Windows([]int64{1}, 0)},
+		"no-windows": {Label: "e", Stages: []Stage{{Name: "a", Sleep: time.Second}}},
+	} {
+		elapsed, err := runPipeline(t, pl)
+		if err != nil || elapsed != 0 {
+			t.Errorf("%s: elapsed %v err %v", name, elapsed, err)
+		}
+	}
+}
+
+// TestSingleStageRingRunsInline: a one-stage chain has nothing to overlap;
+// the ring is ignored and no helper is spawned.
+func TestSingleStageRingRunsInline(t *testing.T) {
+	eng := sim.NewEngine()
+	var names []string
+	pl := &Pipeline{
+		Label:  "one",
+		Wins:   Windows([]int64{1, 1}, 0),
+		Ring:   sim.NewSemaphore(eng, "one.ring", 1),
+		Driver: 0,
+		Stages: []Stage{{Name: "only", Run: func(p *sim.Proc, w Window) error {
+			names = append(names, p.Name())
+			return nil
+		}}},
+	}
+	eng.Spawn("driver", func(p *sim.Proc) {
+		if err := Run(p, pl); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n != "driver" {
+			t.Fatalf("stage ran on %q, want the driver process", n)
+		}
+	}
+}
