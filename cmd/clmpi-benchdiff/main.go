@@ -1,0 +1,67 @@
+// Command clmpi-benchdiff compares a `go test -bench` run against one of the
+// repository's checked-in BENCH_*.json baselines and prints a benchstat-style
+// regression note. CI runs it on the benchmark-smoke output; by default it
+// only reports (single-shot CI numbers are noisy), with -gate it exits
+// non-zero when a cell slows down by more than -flag percent.
+//
+// Usage:
+//
+//	go test -bench MPIMatching -run '^$' ./internal/mpi/ | clmpi-benchdiff -baseline BENCH_mpi.json
+//	clmpi-benchdiff -baseline BENCH_mpi.json -bench bench-mpi.txt -trim BenchmarkMPIMatching/ -flag 50 -gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_mpi.json", "checked-in baseline JSON to compare against")
+	benchFile := flag.String("bench", "-", "go test -bench output file ('-' = stdin)")
+	trim := flag.String("trim", "BenchmarkMPIMatching/", "prefix removed from measured names before grid lookup")
+	flagPct := flag.Float64("flag", 50, "mark cells that slowed down by more than this percentage (0 disables)")
+	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked")
+	flag.Parse()
+
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var out []byte
+	if *benchFile == "-" {
+		out, err = io.ReadAll(os.Stdin)
+	} else {
+		out, err = os.ReadFile(*benchFile)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cells := bench.ParseGoBench(string(out))
+	if len(cells) == 0 {
+		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: no benchmark lines in input\n")
+		os.Exit(2)
+	}
+	deltas, unmatched, missing := bench.DiffBench(base, cells, *trim)
+	note, flagged := bench.FormatBenchDiff(deltas, unmatched, missing, *flagPct)
+	fmt.Printf("benchdiff vs %s (base commit %s):\n%s", *baseline, base.CommitBase, note)
+	if flagged > 0 {
+		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", flagged, *flagPct)
+		if *gate {
+			os.Exit(1)
+		}
+	}
+}
+
+func loadBaseline(path string) (*bench.BenchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.LoadBenchBaseline(data)
+}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/clmpi"
@@ -34,6 +36,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
 	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped, pipelined, pipelined(N) or peer")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes of the traced transfer")
+	ranks := flag.String("ranks", "", "also run the large-world matching scaling sweep at these comma-separated rank counts (e.g. 64,128,256,512)")
+	outstanding := flag.Int("outstanding", 32, "outstanding sends and receives per rank in the -ranks sweep")
+	wild := flag.Int("wild", 25, "percentage of wildcard receives in the -ranks sweep")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -58,6 +63,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(bench.FormatTable(headers, rows))
+
+	if *ranks != "" {
+		counts, err := parseRanks(*ranks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nLarge-world matching scaling on %s (%d outstanding ops/rank, %d%% wildcards)\n\n",
+			sys.Name, *outstanding, *wild)
+		points, err := bench.MatchScale(sys, counts, *outstanding, *wild, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+			os.Exit(1)
+		}
+		h, r := bench.MatchScaleTable(points)
+		fmt.Print(bench.FormatTable(h, r))
+	}
 
 	if *traceOut == "" && !*metrics {
 		return
@@ -94,4 +116,17 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace (load in chrome://tracing or Perfetto): %s\n", *traceOut)
 	}
+}
+
+// parseRanks parses a comma-separated list of world sizes.
+func parseRanks(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -ranks entry %q (want integers >= 2)", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }

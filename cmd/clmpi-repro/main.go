@@ -27,6 +27,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	ranks := flag.Int("ranks", 0, "extra world size for the large-world matching scaling section (0 = default grid only)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -93,6 +94,19 @@ func main() {
 	points, err := bench.Fig10(params)
 	check(err)
 	headers, rows := bench.Fig10Table(points)
+	fmt.Print(bench.FormatTable(headers, rows))
+
+	counts := []int{64, 128, 256, 512}
+	if *quick {
+		counts = []int{64, 128}
+	}
+	if *ranks > 0 {
+		counts = append(counts, *ranks)
+	}
+	section(fmt.Sprintf("Large-world matching scaling — dense wildcard exchange, RICC fabric, %v ranks", counts))
+	scale, err := bench.MatchScale(cluster.RICC(), counts, 32, 25, 2)
+	check(err)
+	headers, rows = bench.MatchScaleTable(scale)
 	fmt.Print(bench.FormatTable(headers, rows))
 
 	section("Verification — distributed implementations vs host references")

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchdiff: a benchstat-style comparison between a `go test -bench` run and
+// a checked-in BENCH_*.json baseline. CI runs it after the benchmark smoke
+// steps to annotate the build with per-cell deltas; it reports, it does not
+// gate (single-shot CI numbers are too noisy to fail a build on), unless the
+// caller opts into a threshold.
+
+// BenchCell is one benchmark result (one grid cell).
+type BenchCell struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// BenchBaseline mirrors the BENCH_*.json files at the repository root.
+type BenchBaseline struct {
+	Description string               `json:"description"`
+	CommitBase  string               `json:"commit_base"`
+	Grid        map[string]BenchCell `json:"grid"`
+}
+
+// LoadBenchBaseline parses a BENCH_*.json document.
+func LoadBenchBaseline(data []byte) (*BenchBaseline, error) {
+	var b BenchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchdiff: baseline: %w", err)
+	}
+	if len(b.Grid) == 0 {
+		return nil, fmt.Errorf("benchdiff: baseline has no grid")
+	}
+	return &b, nil
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// ParseGoBench extracts results from `go test -bench` text output, keyed by
+// full benchmark name (GOMAXPROCS suffix stripped).
+func ParseGoBench(out string) map[string]BenchCell {
+	cells := make(map[string]BenchCell)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var c BenchCell
+		c.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[4] != "" {
+			c.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			c.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		cells[m[1]] = c
+	}
+	return cells
+}
+
+// BenchDelta is one baseline-vs-current comparison row.
+type BenchDelta struct {
+	Name     string
+	Base     float64 // baseline ns/op
+	Current  float64 // measured ns/op
+	DeltaPct float64 // (current-base)/base * 100
+}
+
+// DiffBench matches measured benchmarks against baseline grid keys. trim is
+// removed from the front of measured names before matching (typically
+// "BenchmarkMPIMatching/"); measured benchmarks with no baseline cell and
+// baseline cells never measured are returned separately.
+func DiffBench(base *BenchBaseline, cells map[string]BenchCell, trim string) (deltas []BenchDelta, unmatched, missing []string) {
+	seen := make(map[string]bool)
+	for name, c := range cells {
+		key := strings.TrimPrefix(name, trim)
+		b, ok := base.Grid[key]
+		if !ok {
+			unmatched = append(unmatched, name)
+			continue
+		}
+		seen[key] = true
+		d := BenchDelta{Name: key, Base: b.NsPerOp, Current: c.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.DeltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for key := range base.Grid {
+		if !seen[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(unmatched)
+	sort.Strings(missing)
+	return deltas, unmatched, missing
+}
+
+// FormatBenchDiff renders the comparison as an aligned regression note.
+// Cells whose |delta| exceeds flagPct get a trailing marker; flagPct <= 0
+// disables the markers. The returned count is the number of flagged
+// regressions (slowdowns only — speedups are never flagged).
+func FormatBenchDiff(deltas []BenchDelta, unmatched, missing []string, flagPct float64) (string, int) {
+	rows := make([][]string, 0, len(deltas))
+	flagged := 0
+	for _, d := range deltas {
+		mark := ""
+		if flagPct > 0 && d.DeltaPct > flagPct {
+			mark = "REGRESSION"
+			flagged++
+		}
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.0f", d.Base),
+			fmt.Sprintf("%.0f", d.Current),
+			fmt.Sprintf("%+.1f%%", d.DeltaPct),
+			mark,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(FormatTable([]string{"benchmark", "base ns/op", "now ns/op", "delta", ""}, rows))
+	for _, n := range unmatched {
+		fmt.Fprintf(&b, "no baseline cell for %s\n", n)
+	}
+	for _, n := range missing {
+		fmt.Fprintf(&b, "baseline cell not measured: %s\n", n)
+	}
+	return b.String(), flagged
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/mpi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMPIMatching/engine=bucket/ranks=64/out=16/wild=0         	   10000	       354.0 ns/op	     240 B/op	       2 allocs/op
+BenchmarkMPIMatching/engine=bucket/ranks=64/out=16/wild=25-8      	   10000	       300.5 ns/op	     240 B/op	       2 allocs/op
+BenchmarkTransferPipeline/RICC/pinned/256KiB                      	      20	     44525 ns/op	 730.08 MB/s	   11327 B/op	     245 allocs/op
+PASS
+ok  	repro/internal/mpi	2.090s
+`
+
+func TestParseGoBench(t *testing.T) {
+	cells := ParseGoBench(sampleBenchOut)
+	if len(cells) != 3 {
+		t.Fatalf("parsed %d cells, want 3: %+v", len(cells), cells)
+	}
+	c, ok := cells["BenchmarkMPIMatching/engine=bucket/ranks=64/out=16/wild=0"]
+	if !ok || c.NsPerOp != 354 || c.BytesPerOp != 240 || c.AllocsPerOp != 2 {
+		t.Fatalf("bad cell: %+v ok=%v", c, ok)
+	}
+	if c, ok := cells["BenchmarkMPIMatching/engine=bucket/ranks=64/out=16/wild=25"]; !ok || c.NsPerOp != 300.5 {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v ok=%v", c, ok)
+	}
+	if c, ok := cells["BenchmarkTransferPipeline/RICC/pinned/256KiB"]; !ok || c.AllocsPerOp != 245 {
+		t.Fatalf("MB/s line misparsed: %+v ok=%v", c, ok)
+	}
+}
+
+func TestDiffBenchAgainstCheckedInBaseline(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_mpi.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBenchBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline must cover the full engine grid and encode the >=5x
+	// acceptance criterion at ranks=256/out=64.
+	if len(base.Grid) != 24 {
+		t.Fatalf("baseline grid has %d cells, want 24", len(base.Grid))
+	}
+	for _, wild := range []string{"0", "25"} {
+		b := base.Grid["engine=bucket/ranks=256/out=64/wild="+wild]
+		l := base.Grid["engine=legacy/ranks=256/out=64/wild="+wild]
+		if b.NsPerOp <= 0 || l.NsPerOp/b.NsPerOp < 5 {
+			t.Errorf("wild=%s: speedup %.1fx below the 5x acceptance bar", wild, l.NsPerOp/b.NsPerOp)
+		}
+	}
+	cells := ParseGoBench(sampleBenchOut)
+	deltas, unmatched, missing := DiffBench(base, cells, "BenchmarkMPIMatching/")
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	if len(unmatched) != 1 || !strings.HasPrefix(unmatched[0], "BenchmarkTransferPipeline") {
+		t.Fatalf("unmatched: %v", unmatched)
+	}
+	if len(missing) != 22 {
+		t.Fatalf("missing: %d, want 22", len(missing))
+	}
+	note, flagged := FormatBenchDiff(deltas, unmatched, missing, 5)
+	if flagged != 1 { // 300.5 vs 278 baseline is a +8.1% slowdown
+		t.Fatalf("flagged=%d, want 1\n%s", flagged, note)
+	}
+	if !strings.Contains(note, "REGRESSION") || !strings.Contains(note, "+8.1%") {
+		t.Fatalf("note missing markers:\n%s", note)
+	}
+	if _, relaxed := FormatBenchDiff(deltas, nil, nil, 50); relaxed != 0 {
+		t.Fatalf("relaxed threshold still flags %d", relaxed)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Large-world matching scaling: how the MPI runtime's message-matching
+// engine behaves when the job is much bigger than the paper's four-node
+// testbed. Each point runs a dense non-blocking exchange — every rank keeps
+// `outstanding` receives posted and `outstanding` sends in flight, a slice
+// of them through AnySource/AnyTag wildcards — and reports virtual
+// completion time, host simulation cost, and the peak matching-queue depths
+// the engine saw. Points are independent simulations and run through the
+// host-parallel sweep runner.
+
+// MatchPoint is one cell of the matching scaling sweep.
+type MatchPoint struct {
+	Ranks       int
+	Outstanding int // outstanding ops per rank (clamped to Ranks-1)
+	WildPct     int // percentage of receives using a wildcard
+	Rounds      int
+	Messages    int     // point-to-point messages matched
+	SimMS       float64 // virtual completion time, milliseconds (deterministic)
+	HostMS      float64 // host wall-clock cost of simulating the point
+	// Peak matching-queue depths across all ranks, from the engine's
+	// high-water tracking: posted receives and unexpected messages.
+	MaxPostedHW     int
+	MaxUnexpectedHW int
+}
+
+// matchWorkload runs the dense exchange on a freshly built world and
+// returns the filled point. Message k of rank r goes to rank (r+1+k)%n with
+// tag k, so for outstanding <= n-1 every (source, destination) pair carries
+// exactly one message per round — which keeps every wildcard receive
+// unambiguous (it can only ever pair with the one message its concrete
+// coordinate pins down) and the exchange deadlock-free in any interleaving.
+func matchWorkload(sys cluster.System, ranks, outstanding, wildPct, rounds int) (MatchPoint, error) {
+	if outstanding > ranks-1 {
+		outstanding = ranks - 1
+	}
+	if outstanding < 1 || rounds < 1 {
+		return MatchPoint{}, fmt.Errorf("matchscale: need >=2 ranks, >=1 round (got ranks=%d rounds=%d)", ranks, rounds)
+	}
+	if sys.MaxNodes < ranks {
+		// The guard models the physical testbed; the scaling sweep is
+		// explicitly about worlds beyond it.
+		sys.MaxNodes = ranks
+	}
+	start := time.Now()
+	eng := sim.NewEngine()
+	w := mpi.NewWorld(cluster.New(eng, sys, ranks))
+	const msgBytes = 256 // eager: keeps the workload matching-bound
+	w.LaunchRanks("matchscale", func(p *sim.Proc, ep *mpi.Endpoint) {
+		n, r := ep.Size(), ep.Rank()
+		recvBufs := make([][]byte, outstanding)
+		for j := range recvBufs {
+			recvBufs[j] = make([]byte, msgBytes)
+		}
+		payload := make([]byte, msgBytes)
+		for round := 0; round < rounds; round++ {
+			reqs := make([]*mpi.Request, 0, 2*outstanding)
+			for j := 0; j < outstanding; j++ {
+				src, tag := ((r-1-j)%n+n)%n, j
+				if j*100 < outstanding*wildPct {
+					if j%2 == 0 {
+						src = mpi.AnySource
+					} else {
+						tag = mpi.AnyTag
+					}
+				}
+				req, err := ep.Irecv(p, recvBufs[j], src, tag, mpi.Bytes, w.Comm())
+				if err != nil {
+					panic(err)
+				}
+				reqs = append(reqs, req)
+			}
+			for j := 0; j < outstanding; j++ {
+				req, err := ep.Isend(p, payload, (r+1+j)%n, j, mpi.Bytes, w.Comm())
+				if err != nil {
+					panic(err)
+				}
+				reqs = append(reqs, req)
+			}
+			if err := mpi.Waitall(p, reqs...); err != nil {
+				panic(err)
+			}
+			if err := ep.Barrier(p, w.Comm()); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return MatchPoint{}, fmt.Errorf("matchscale ranks=%d: %w", ranks, err)
+	}
+	pt := MatchPoint{
+		Ranks: ranks, Outstanding: outstanding, WildPct: wildPct, Rounds: rounds,
+		Messages: ranks * outstanding * rounds,
+		SimMS:    eng.Now().Seconds() * 1e3,
+		HostMS:   float64(time.Since(start)) / 1e6,
+	}
+	for r := 0; r < ranks; r++ {
+		p, u := w.Comm().MatchQueueHighWater(r)
+		if p > pt.MaxPostedHW {
+			pt.MaxPostedHW = p
+		}
+		if u > pt.MaxUnexpectedHW {
+			pt.MaxUnexpectedHW = u
+		}
+	}
+	return pt, nil
+}
+
+// MatchScale runs the dense wildcard exchange at each rank count.
+func MatchScale(sys cluster.System, rankCounts []int, outstanding, wildPct, rounds int) ([]MatchPoint, error) {
+	return sweep.Map(len(rankCounts), func(i int) (MatchPoint, error) {
+		return matchWorkload(sys, rankCounts[i], outstanding, wildPct, rounds)
+	})
+}
+
+// MatchScaleTable renders the sweep for the CLI tools.
+func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
+	headers = []string{"ranks", "out/rank", "wild%", "messages", "sim ms", "host ms", "peak posted", "peak unexpected"}
+	for _, pt := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", pt.Ranks),
+			fmt.Sprintf("%d", pt.Outstanding),
+			fmt.Sprintf("%d", pt.WildPct),
+			fmt.Sprintf("%d", pt.Messages),
+			fmt.Sprintf("%.3f", pt.SimMS),
+			fmt.Sprintf("%.1f", pt.HostMS),
+			fmt.Sprintf("%d", pt.MaxPostedHW),
+			fmt.Sprintf("%d", pt.MaxUnexpectedHW),
+		})
+	}
+	return headers, rows
+}

@@ -1,0 +1,113 @@
+package mpi
+
+// The legacy matching core, preserved verbatim as the equivalence oracle for
+// the bucketed engine. Before the refactor the communicator held two
+// world-wide slices — postedRecvs and pendingMsgs, all destination ranks
+// interleaved — and every operation linearly scanned them with O(n) memmove
+// removals. The scan loops below are those implementations, unchanged except
+// for living behind the matchEngine interface; the depth bookkeeping is new
+// scaffolding the old code never had (the events carrying depths did not
+// exist), maintained incrementally so event payloads can be compared too.
+//
+// equiv_test.go and the matching benchmarks run worlds over this engine and
+// over the production one and require byte-identical results.
+
+// legacyMatchEngine is the pre-refactor linear-scan matching core.
+type legacyMatchEngine struct {
+	postedRecvs []*recvOp
+	pendingMsgs []*message
+
+	posted, unexpected     map[int]int // current depths by rank
+	postedHW, unexpectedHW map[int]int
+}
+
+func newLegacyMatchEngine() *legacyMatchEngine {
+	return &legacyMatchEngine{
+		posted: map[int]int{}, unexpected: map[int]int{},
+		postedHW: map[int]int{}, unexpectedHW: map[int]int{},
+	}
+}
+
+func (l *legacyMatchEngine) addMsg(msg *message) {
+	l.pendingMsgs = append(l.pendingMsgs, msg)
+	l.unexpected[msg.dst]++
+	if l.unexpected[msg.dst] > l.unexpectedHW[msg.dst] {
+		l.unexpectedHW[msg.dst] = l.unexpected[msg.dst]
+	}
+}
+
+func (l *legacyMatchEngine) addRecv(rop *recvOp) {
+	l.postedRecvs = append(l.postedRecvs, rop)
+	l.posted[rop.owner]++
+	if l.posted[rop.owner] > l.postedHW[rop.owner] {
+		l.postedHW[rop.owner] = l.posted[rop.owner]
+	}
+}
+
+// takeMsg is the old postRecv scan, verbatim: pending messages in arrival
+// order, first match wins, removed by memmove.
+func (l *legacyMatchEngine) takeMsg(rop *recvOp) *message {
+	for i, msg := range l.pendingMsgs {
+		if msg.dst == rop.owner && matches(rop, msg) {
+			l.pendingMsgs = append(l.pendingMsgs[:i], l.pendingMsgs[i+1:]...)
+			l.unexpected[msg.dst]--
+			return msg
+		}
+	}
+	return nil
+}
+
+// matchMsg is the old matchNewMessage / firstMatch scan, verbatim: posted
+// receives in posting order, first match wins; consume distinguishes the
+// real pairing from the copy-elision prediction.
+func (l *legacyMatchEngine) matchMsg(msg *message, consume bool) *recvOp {
+	for i, rop := range l.postedRecvs {
+		if msg.dst != rop.owner || !matches(rop, msg) {
+			continue
+		}
+		if consume {
+			l.postedRecvs = append(l.postedRecvs[:i], l.postedRecvs[i+1:]...)
+			l.posted[rop.owner]--
+		}
+		return rop
+	}
+	return nil
+}
+
+// removeMsg is the old "the message is the newest pending entry" back scan,
+// verbatim.
+func (l *legacyMatchEngine) removeMsg(msg *message) {
+	for j := len(l.pendingMsgs) - 1; j >= 0; j-- {
+		if l.pendingMsgs[j] == msg {
+			l.pendingMsgs = append(l.pendingMsgs[:j], l.pendingMsgs[j+1:]...)
+			l.unexpected[msg.dst]--
+			break
+		}
+	}
+}
+
+// peekMsg is the old Iprobe scan, verbatim.
+func (l *legacyMatchEngine) peekMsg(owner, src, tag int) *message {
+	pr := &prober{owner: owner, src: src, tag: tag}
+	for _, msg := range l.pendingMsgs {
+		if probeMatches(pr, msg) {
+			return msg
+		}
+	}
+	return nil
+}
+
+func (l *legacyMatchEngine) depths(rank int) (posted, unexpected int) {
+	return l.posted[rank], l.unexpected[rank]
+}
+
+func (l *legacyMatchEngine) highWater(rank int) (posted, unexpected int) {
+	return l.postedHW[rank], l.unexpectedHW[rank]
+}
+
+// useLegacyMatching swaps a freshly created world (no traffic yet) onto the
+// legacy linear-scan engine, including communicators Dup'd later.
+func useLegacyMatching(w *World) {
+	w.newMatch = func(int) matchEngine { return newLegacyMatchEngine() }
+	w.world.match = newLegacyMatchEngine()
+}

@@ -1,0 +1,113 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMPIMatching measures the matching engines head to head on a
+// steady-state churn workload over a (ranks × outstanding-ops ×
+// wildcard-ratio) grid: every rank holds `out` posted receives and `out`
+// unexpected messages, and each benchmark op either completes a send against
+// a posted receive or completes a receive against an unexpected message,
+// immediately restoring the consumed entry so queue depths stay constant.
+// This is the runtime's exact call pattern (addMsg + matchMsg + removeMsg,
+// takeMsg + addRecv) minus the simulation around it, so ns/op isolates
+// matching cost: world-wide linear scans for the legacy engine versus
+// bucketed lane lookups for the production one. The CI baseline lives in
+// BENCH_mpi.json; the acceptance bar for the refactor is bucket >= 5x
+// cheaper than legacy at ranks=256/out=64.
+
+// benchState holds one engine under steady-state load.
+type benchState struct {
+	eng   matchEngine
+	ranks int
+	out   int
+	wild  int
+	seq   uint64
+}
+
+const benchTags = 16
+
+// benchFilter is the (src, tag) a receive j of rank d uses: mostly exact,
+// with the first wild% receives alternating AnySource / AnyTag wildcards.
+func (s *benchState) benchFilter(d, j int) (src, tag int) {
+	src, tag = (d*7+j)%s.ranks, j%benchTags
+	if j*100 < s.out*s.wild {
+		if j%2 == 0 {
+			src = AnySource
+		} else {
+			tag = AnyTag
+		}
+	}
+	return src, tag
+}
+
+func newBenchState(eng matchEngine, ranks, out, wild int) *benchState {
+	s := &benchState{eng: eng, ranks: ranks, out: out, wild: wild}
+	for d := 0; d < ranks; d++ {
+		for j := 0; j < out; j++ {
+			src, tag := s.benchFilter(d, j)
+			s.seq++
+			s.eng.addRecv(&recvOp{owner: d, src: src, tag: tag, seq: s.seq})
+			s.seq++
+			s.eng.addMsg(&message{src: (d*7 + j) % ranks, dst: d, tag: j % benchTags, seq: s.seq, size: 64})
+		}
+	}
+	return s
+}
+
+// step performs one benchmark op against destination rank d, alternating
+// the two matching directions. Consumed entries are recloned with fresh
+// seqs, so depth and (src, tag) composition are invariant across b.N.
+func (s *benchState) step(i int) {
+	d := i % s.ranks
+	j := (i / s.ranks) % s.out
+	if i%2 == 0 {
+		// Send completing against a posted receive.
+		s.seq++
+		msg := &message{src: (d*7 + j) % s.ranks, dst: d, tag: j % benchTags, seq: s.seq, size: 64}
+		s.eng.addMsg(msg)
+		if rop := s.eng.matchMsg(msg, true); rop != nil {
+			s.eng.removeMsg(msg)
+			s.seq++
+			s.eng.addRecv(&recvOp{owner: rop.owner, src: rop.src, tag: rop.tag, seq: s.seq})
+		}
+		return
+	}
+	// Receive completing against an unexpected message.
+	src, tag := s.benchFilter(d, j)
+	s.seq++
+	rop := &recvOp{owner: d, src: src, tag: tag, seq: s.seq}
+	if msg := s.eng.takeMsg(rop); msg != nil {
+		s.seq++
+		s.eng.addMsg(&message{src: msg.src, dst: msg.dst, tag: msg.tag, seq: s.seq, size: 64})
+	}
+}
+
+func BenchmarkMPIMatching(b *testing.B) {
+	engines := []struct {
+		name string
+		make func(size int) matchEngine
+	}{
+		{"bucket", func(size int) matchEngine { return newBucketMatcher(size) }},
+		{"legacy", func(int) matchEngine { return newLegacyMatchEngine() }},
+	}
+	for _, eng := range engines {
+		for _, ranks := range []int{64, 256, 512} {
+			for _, out := range []int{16, 64} {
+				for _, wild := range []int{0, 25} {
+					name := fmt.Sprintf("engine=%s/ranks=%d/out=%d/wild=%d", eng.name, ranks, out, wild)
+					b.Run(name, func(b *testing.B) {
+						s := newBenchState(eng.make(ranks), ranks, out, wild)
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							s.step(i)
+						}
+					})
+				}
+			}
+		}
+	}
+}

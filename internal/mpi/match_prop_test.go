@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test for the matching refactor: random interleavings of the four
+// runtime operations — post-send (with its consume-and-remove pairing),
+// post-receive (take-or-enqueue), the send-side copy-elision prediction, and
+// probes — applied in lockstep to the bucketed engine and to the legacy
+// linear-scan oracle, at world sizes from 1 to 64 ranks. After every single
+// operation the two engines must report the same pairing (by seq — which is
+// exactly the seq-ordered, non-overtaking MPI matching order) and the same
+// queue depths. Runs under -race in CI like the rest of the suite.
+
+// propWorld drives one engine with the runtime's call patterns.
+type propWorld struct {
+	eng matchEngine
+	seq uint64
+}
+
+func (w *propWorld) send(src, dst, tag int) (msgSeq uint64, matched uint64) {
+	w.seq++
+	msg := &message{src: src, dst: dst, tag: tag, seq: w.seq, size: 64}
+	w.eng.addMsg(msg)
+	if rop := w.eng.matchMsg(msg, true); rop != nil {
+		w.eng.removeMsg(msg)
+		return msg.seq, rop.seq
+	}
+	return msg.seq, 0
+}
+
+func (w *propWorld) recv(owner, src, tag int) (ropSeq uint64, took uint64) {
+	w.seq++
+	rop := &recvOp{owner: owner, src: src, tag: tag, seq: w.seq}
+	if msg := w.eng.takeMsg(rop); msg != nil {
+		return rop.seq, msg.seq
+	}
+	w.eng.addRecv(rop)
+	return rop.seq, 0
+}
+
+func (w *propWorld) predict(src, dst, tag int) uint64 {
+	// firstMatch: a pure prediction for a message that is not enqueued.
+	msg := &message{src: src, dst: dst, tag: tag, seq: w.seq + 1, size: 64}
+	if rop := w.eng.matchMsg(msg, false); rop != nil {
+		return rop.seq
+	}
+	return 0
+}
+
+func (w *propWorld) probe(owner, src, tag int) uint64 {
+	if msg := w.eng.peekMsg(owner, src, tag); msg != nil {
+		return msg.seq
+	}
+	return 0
+}
+
+// randTag picks a user tag, with an occasional internal collective tag.
+func randTag(rng *rand.Rand) int {
+	if rng.Intn(5) == 0 {
+		return -1000 - 100*rng.Intn(3) - rng.Intn(4) // collective round tags
+	}
+	return rng.Intn(5)
+}
+
+// randFilter picks a receive/probe (src, tag) filter with wildcards.
+func randFilter(rng *rand.Rand, ranks int) (src, tag int) {
+	src = rng.Intn(ranks)
+	if rng.Intn(3) == 0 {
+		src = AnySource
+	}
+	tag = randTag(rng)
+	if tag >= 0 && rng.Intn(3) == 0 {
+		tag = AnyTag
+	}
+	return src, tag
+}
+
+func TestMatchPropertyRandomInterleavings(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(64)
+		bucket := &propWorld{eng: newBucketMatcher(ranks)}
+		legacy := &propWorld{eng: newLegacyMatchEngine()}
+		ops := 300 + rng.Intn(700)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // post-send
+				src, dst, tag := rng.Intn(ranks), rng.Intn(ranks), randTag(rng)
+				bm, br := bucket.send(src, dst, tag)
+				lm, lr := legacy.send(src, dst, tag)
+				if bm != lm || br != lr {
+					t.Fatalf("seed %d op %d: send(%d->%d tag %d) paired bucket=(msg %d, recv %d) legacy=(msg %d, recv %d)",
+						seed, op, src, dst, tag, bm, br, lm, lr)
+				}
+			case 4, 5, 6, 7: // post-receive
+				owner := rng.Intn(ranks)
+				src, tag := randFilter(rng, ranks)
+				br, bm := bucket.recv(owner, src, tag)
+				lr, lm := legacy.recv(owner, src, tag)
+				if br != lr || bm != lm {
+					t.Fatalf("seed %d op %d: recv(owner %d, src %d, tag %d) took bucket=%d legacy=%d",
+						seed, op, owner, src, tag, bm, lm)
+				}
+			case 8: // copy-elision prediction
+				src, dst, tag := rng.Intn(ranks), rng.Intn(ranks), randTag(rng)
+				if b, l := bucket.predict(src, dst, tag), legacy.predict(src, dst, tag); b != l {
+					t.Fatalf("seed %d op %d: predict(%d->%d tag %d) bucket=%d legacy=%d",
+						seed, op, src, dst, tag, b, l)
+				}
+			default: // probe
+				owner := rng.Intn(ranks)
+				src, tag := randFilter(rng, ranks)
+				if b, l := bucket.probe(owner, src, tag), legacy.probe(owner, src, tag); b != l {
+					t.Fatalf("seed %d op %d: probe(owner %d, src %d, tag %d) bucket=%d legacy=%d",
+						seed, op, owner, src, tag, b, l)
+				}
+			}
+			// seq counters advance identically; depths must agree everywhere.
+			bucket.seq = legacy.seq
+			r := rng.Intn(ranks)
+			bp, bu := bucket.eng.depths(r)
+			lp, lu := legacy.eng.depths(r)
+			if bp != lp || bu != lu {
+				t.Fatalf("seed %d op %d: rank %d depths bucket=(%d,%d) legacy=(%d,%d)",
+					seed, op, r, bp, bu, lp, lu)
+			}
+		}
+		for r := 0; r < ranks; r++ {
+			bp, bu := bucket.eng.highWater(r)
+			lp, lu := legacy.eng.highWater(r)
+			if bp != lp || bu != lu {
+				t.Fatalf("seed %d: rank %d high-water bucket=(%d,%d) legacy=(%d,%d)",
+					seed, r, bp, bu, lp, lu)
+			}
+		}
+	}
+}

@@ -41,6 +41,12 @@ type message struct {
 	direct  bool
 	arrived *sim.Trigger // data available at the receiver (eager/local)
 	req     *Request
+
+	// Intrusive matcher links (see match.go): the (src, tag) lane FIFO and
+	// the destination rank's arrival list. Nil once unlinked, so a matched
+	// message retains nothing.
+	laneNext, lanePrev *message
+	arrNext, arrPrev   *message
 }
 
 // recvOp is a posted receive awaiting a message.
@@ -50,6 +56,9 @@ type recvOp struct {
 	seq      uint64
 	buf      []byte
 	req      *Request
+
+	// Intrusive matcher links: the literal (src, tag) lane FIFO.
+	laneNext, lanePrev *recvOp
 }
 
 // Isend starts a nonblocking send of buf to rank dest with the given tag,
@@ -115,11 +124,12 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 	default:
 		msg.sendBuf = buf // rendezvous: transfer happens at match time
 	}
+	comm.match.addMsg(msg)
+	pd, ud := comm.match.depths(msg.dst)
 	w.observe(MsgEvent{Kind: MsgSendPosted, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: w.eng.Now()})
-	comm.pendingMsgs = append(comm.pendingMsgs, msg)
-	comm.notifyProbers(msg)
-	comm.matchNewMessage(msg)
+		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: w.eng.Now(),
+		PostedDepth: pd, UnexpectedDepth: ud})
+	comm.matchPostedMsg(msg)
 	return msg.req
 }
 
@@ -154,18 +164,19 @@ func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
 		src:   src, tag: tag, seq: w.seq, buf: buf,
 		req: newRequest(w.eng, fmt.Sprintf("irecv %d<-%d tag %d", ep.rank, src, tag)),
 	}
-	w.observe(MsgEvent{Kind: MsgRecvPosted, Src: src, Dst: ep.rank, Tag: tag,
-		Seq: rop.seq, Bytes: len(buf), At: w.eng.Now()})
-	// Scan pending messages in arrival order for the first match
-	// (non-overtaking per sender).
-	for i, msg := range comm.pendingMsgs {
-		if msg.dst == ep.rank && matches(rop, msg) {
-			comm.pendingMsgs = append(comm.pendingMsgs[:i], comm.pendingMsgs[i+1:]...)
-			comm.deliver(msg, rop)
-			return rop.req
-		}
+	// Take the earliest pending message in arrival order (non-overtaking per
+	// sender); only an unmatched receive joins the posted queue.
+	msg := comm.match.takeMsg(rop)
+	if msg == nil {
+		comm.match.addRecv(rop)
 	}
-	comm.postedRecvs = append(comm.postedRecvs, rop)
+	pd, ud := comm.match.depths(ep.rank)
+	w.observe(MsgEvent{Kind: MsgRecvPosted, Src: src, Dst: ep.rank, Tag: tag,
+		Seq: rop.seq, Bytes: len(buf), At: w.eng.Now(),
+		PostedDepth: pd, UnexpectedDepth: ud})
+	if msg != nil {
+		comm.deliver(msg, rop)
+	}
 	return rop.req
 }
 
@@ -182,33 +193,19 @@ func matches(rop *recvOp, msg *message) bool {
 	return rop.tag == msg.tag
 }
 
-// firstMatch returns the posted receive that matchNewMessage would pair msg
-// with, or nil. It must mirror matchNewMessage's scan exactly: the send-side
-// copy elision relies on predicting the match.
+// firstMatch returns the posted receive that matchPostedMsg would pair msg
+// with, or nil — the send-side copy-elision prediction. It shares the
+// engine's selection code with the real match, so the two cannot drift.
 func (c *Comm) firstMatch(msg *message) *recvOp {
-	for _, rop := range c.postedRecvs {
-		if msg.dst == rop.owner && matches(rop, msg) {
-			return rop
-		}
-	}
-	return nil
+	return c.match.matchMsg(msg, false)
 }
 
-// matchNewMessage pairs a just-posted message against posted receives.
-func (c *Comm) matchNewMessage(msg *message) {
-	for i, rop := range c.postedRecvs {
-		if msg.dst != rop.owner || !matches(rop, msg) {
-			continue
-		}
-		c.postedRecvs = append(c.postedRecvs[:i], c.postedRecvs[i+1:]...)
-		// The message is the newest pending entry; remove it.
-		for j := len(c.pendingMsgs) - 1; j >= 0; j-- {
-			if c.pendingMsgs[j] == msg {
-				c.pendingMsgs = append(c.pendingMsgs[:j], c.pendingMsgs[j+1:]...)
-				break
-			}
-		}
+// matchPostedMsg wakes matching probers and pairs a just-enqueued message
+// against posted receives — the shared tail of every send path.
+func (c *Comm) matchPostedMsg(msg *message) {
+	c.notifyProbers(msg)
+	if rop := c.match.matchMsg(msg, true); rop != nil {
+		c.match.removeMsg(msg)
 		c.deliver(msg, rop)
-		return
 	}
 }

@@ -32,11 +32,8 @@ func (ep *Endpoint) Iprobe(src, tag int, comm *Comm) (bool, Status, error) {
 	if tag != AnyTag && tag < 0 {
 		return false, Status{}, fmt.Errorf("%w: tag %d", ErrTagNegative, tag)
 	}
-	pr := &prober{owner: ep.rank, src: src, tag: tag}
-	for _, msg := range comm.pendingMsgs {
-		if probeMatches(pr, msg) {
-			return true, Status{Source: msg.src, Tag: msg.tag, Count: msg.size}, nil
-		}
+	if msg := comm.match.peekMsg(ep.rank, src, tag); msg != nil {
+		return true, Status{Source: msg.src, Tag: msg.tag, Count: msg.size}, nil
 	}
 	return false, Status{}, nil
 }
@@ -100,9 +97,8 @@ func (ep *Endpoint) Ssend(p *sim.Proc, buf []byte, dest, tag int, comm *Comm) er
 		sendBuf: buf, // rendezvous path: completes only on match
 		req:     newRequest(w.eng, fmt.Sprintf("ssend %d->%d tag %d", ep.rank, dest, tag)),
 	}
-	comm.pendingMsgs = append(comm.pendingMsgs, msg)
-	comm.notifyProbers(msg)
-	comm.matchNewMessage(msg)
+	comm.match.addMsg(msg)
+	comm.matchPostedMsg(msg)
 	_, err := msg.req.Wait(p)
 	return err
 }

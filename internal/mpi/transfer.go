@@ -52,12 +52,18 @@ func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 func (c *Comm) deliver(msg *message, rop *recvOp) {
 	w := c.world
 	now := w.eng.Now()
+	// Queue depths are sampled once, at match time (both sides have already
+	// left the queues); the delivered event reuses them so its payload does
+	// not depend on unrelated traffic between match and delivery.
+	pd, ud := c.match.depths(msg.dst)
 	delivered := func(at sim.Time) MsgEvent {
 		return MsgEvent{Kind: MsgDelivered, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-			Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: at}
+			Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: at,
+			PostedDepth: pd, UnexpectedDepth: ud}
 	}
 	w.observe(MsgEvent{Kind: MsgMatched, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: now})
+		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: now,
+		PostedDepth: pd, UnexpectedDepth: ud})
 	st := Status{Source: msg.src, Tag: msg.tag, Count: msg.size}
 	if msg.size > len(rop.buf) {
 		// Truncation is the receiver's error; the sender completes

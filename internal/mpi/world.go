@@ -17,11 +17,15 @@ type World struct {
 	hook   CLMemHook
 	msgObs MsgObserver
 	seq    uint64 // global message sequence for deterministic tie-breaks
+	// newMatch builds the matching core for each communicator. Tests swap it
+	// (before any traffic) to run the legacy linear-scan oracle side by side.
+	newMatch func(size int) matchEngine
 }
 
 // NewWorld creates a job spanning every node of the cluster.
 func NewWorld(c *cluster.Cluster) *World {
 	w := &World{eng: c.Eng, clus: c, size: len(c.Nodes)}
+	w.newMatch = func(n int) matchEngine { return newBucketMatcher(n) }
 	w.world = newComm(w, "MPI_COMM_WORLD")
 	return w
 }
@@ -90,6 +94,12 @@ type MsgEvent struct {
 	Bytes    int
 	Eager    bool // eager protocol (meaningful from MsgSendPosted on)
 	At       sim.Time
+	// PostedDepth and UnexpectedDepth are the destination rank's
+	// matching-queue depths — posted receives and unexpected (pending)
+	// messages — immediately after the event's action took effect. The
+	// observability layer derives per-rank high-water marks from them.
+	PostedDepth     int
+	UnexpectedDepth int
 }
 
 // MsgObserver receives message protocol-phase notifications from a world.
@@ -154,17 +164,29 @@ type Comm struct {
 
 	// Matching state. Access is safe without host locks because exactly
 	// one simulated process runs at a time.
-	postedRecvs []*recvOp
-	pendingMsgs []*message
-	probers     []*prober
+	match   matchEngine
+	probers []*prober
 }
 
 func newComm(w *World, name string) *Comm {
-	return &Comm{world: w, name: name}
+	return &Comm{world: w, name: name, match: w.newMatch(w.size)}
 }
 
 // Name reports the communicator's diagnostic name.
 func (c *Comm) Name() string { return c.name }
+
+// MatchQueueDepths reports rank's current posted-receive and
+// unexpected-message queue depths in this communicator's matching engine.
+func (c *Comm) MatchQueueDepths(rank int) (postedRecvs, unexpected int) {
+	return c.match.depths(rank)
+}
+
+// MatchQueueHighWater reports the peak posted-receive and unexpected-message
+// queue depths the matching engine has seen for rank — the pressure metric
+// the large-world scaling sweeps and the observability layer surface.
+func (c *Comm) MatchQueueHighWater(rank int) (postedRecvs, unexpected int) {
+	return c.match.highWater(rank)
+}
 
 // Dup creates a communicator with the same group but a separate matching
 // context, like MPI_Comm_dup.

@@ -78,8 +78,27 @@ func proto(eager bool) string {
 	return "rendezvous"
 }
 
+// matchDepth folds one event's destination-rank queue depths into the
+// matching gauges: current posted/unexpected depth plus sticky per-rank
+// high-water marks. The ".hw" gauges are what the large-world scaling
+// sweeps read back; MaxGauge("mpi.match.") yields the job-wide peak.
+func (a *msgAdapter) matchDepth(ev mpi.MsgEvent) {
+	m := a.b.Metrics()
+	pg := fmt.Sprintf("mpi.match.rank%03d.posted", ev.Dst)
+	ug := fmt.Sprintf("mpi.match.rank%03d.unexpected", ev.Dst)
+	m.Set(pg, float64(ev.PostedDepth))
+	m.Set(ug, float64(ev.UnexpectedDepth))
+	if v, ok := m.Gauge(pg + ".hw"); !ok || float64(ev.PostedDepth) > v {
+		m.Set(pg+".hw", float64(ev.PostedDepth))
+	}
+	if v, ok := m.Gauge(ug + ".hw"); !ok || float64(ev.UnexpectedDepth) > v {
+		m.Set(ug+".hw", float64(ev.UnexpectedDepth))
+	}
+}
+
 func (a *msgAdapter) MessageEvent(ev mpi.MsgEvent) {
 	m := a.b.Metrics()
+	a.matchDepth(ev)
 	switch ev.Kind {
 	case mpi.MsgSendPosted:
 		a.open[ev.Seq] = ev
@@ -88,11 +107,13 @@ func (a *msgAdapter) MessageEvent(ev mpi.MsgEvent) {
 		m.Observe("mpi.msg_bytes", float64(ev.Bytes))
 	case mpi.MsgRecvPosted:
 		a.b.Instant(LayerMPI, fmt.Sprintf("rank%d.recv", ev.Dst), "irecv posted", ev.At,
-			AInt("src", int64(ev.Src)), AInt("tag", int64(ev.Tag)))
+			AInt("src", int64(ev.Src)), AInt("tag", int64(ev.Tag)),
+			AInt("posted_q", int64(ev.PostedDepth)), AInt("unexpected_q", int64(ev.UnexpectedDepth)))
 		m.Add("mpi.recvs", 1)
 	case mpi.MsgMatched:
 		a.b.Instant(LayerMPI, msgLane(ev.Src, ev.Dst), "matched", ev.At,
-			AInt("tag", int64(ev.Tag)), AInt("bytes", int64(ev.Bytes)))
+			AInt("tag", int64(ev.Tag)), AInt("bytes", int64(ev.Bytes)),
+			AInt("posted_q", int64(ev.PostedDepth)), AInt("unexpected_q", int64(ev.UnexpectedDepth)))
 	case mpi.MsgDelivered:
 		start := ev.At
 		if posted, ok := a.open[ev.Seq]; ok {

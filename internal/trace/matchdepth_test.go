@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestMatchQueueDepthMetrics drives a staged exchange whose queue depths are
+// known by construction — rank 1 holds three posted receives while two
+// unexpected messages wait — and checks the per-rank depth gauges,
+// high-water marks, and the Chrome-export instant args the matching engine
+// feeds through the observability layer.
+func TestMatchQueueDepthMetrics(t *testing.T) {
+	e := sim.NewEngine()
+	clus := cluster.New(e, cluster.RICC(), 2)
+	w := mpi.NewWorld(clus)
+	tr := New()
+	tr.Instrument(clus, w, nil)
+	payload := make([]byte, 64)
+	e.Spawn("rank0", func(p *sim.Proc) {
+		ep := w.Endpoint(0)
+		// Two unexpected messages: rank 1 posts their receives only later.
+		for _, tag := range []int{20, 21} {
+			if err := ep.Send(p, payload, 1, tag, mpi.Bytes, w.Comm()); err != nil {
+				t.Error(err)
+			}
+		}
+		p.Sleep(10 * time.Millisecond)
+		for _, tag := range []int{10, 11, 12} {
+			if err := ep.Send(p, payload, 1, tag, mpi.Bytes, w.Comm()); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	e.Spawn("rank1", func(p *sim.Proc) {
+		ep := w.Endpoint(1)
+		p.Sleep(5 * time.Millisecond)
+		var reqs []*mpi.Request
+		// Three receives posted ahead of their messages.
+		for _, tag := range []int{10, 11, 12} {
+			req, err := ep.Irecv(p, make([]byte, 64), 0, tag, mpi.Bytes, w.Comm())
+			if err != nil {
+				t.Error(err)
+			}
+			reqs = append(reqs, req)
+		}
+		for _, tag := range []int{20, 21} {
+			if _, err := ep.Recv(p, make([]byte, 64), 0, tag, mpi.Bytes, w.Comm()); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := mpi.Waitall(p, reqs...); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := tr.Bus().Metrics()
+	gauge := func(name string) float64 {
+		v, ok := m.Gauge(name)
+		if !ok {
+			t.Fatalf("gauge %s missing", name)
+		}
+		return v
+	}
+	if hw := gauge("mpi.match.rank001.posted.hw"); hw != 3 {
+		t.Errorf("posted high-water = %v, want 3", hw)
+	}
+	if hw := gauge("mpi.match.rank001.unexpected.hw"); hw != 2 {
+		t.Errorf("unexpected high-water = %v, want 2", hw)
+	}
+	// Drained at the end: the current-depth gauges settle at zero.
+	if v := gauge("mpi.match.rank001.posted"); v != 0 {
+		t.Errorf("final posted depth = %v, want 0", v)
+	}
+	if v := gauge("mpi.match.rank001.unexpected"); v != 0 {
+		t.Errorf("final unexpected depth = %v, want 0", v)
+	}
+	if name, v, ok := m.MaxGauge("mpi.match."); !ok || v < 3 {
+		t.Errorf("MaxGauge(mpi.match.) = %s %v %v, want peak >= 3", name, v, ok)
+	}
+	if !strings.Contains(m.Format(), "mpi.match.rank001.posted.hw") {
+		t.Error("metrics registry dump does not list the high-water gauge")
+	}
+
+	var chrome bytes.Buffer
+	if err := tr.Bus().WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"posted_q"`, `"unexpected_q"`, "matched", "irecv posted"} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Errorf("Chrome export missing %s", want)
+		}
+	}
+}
