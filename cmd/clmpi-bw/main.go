@@ -28,6 +28,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/trace/critpath"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
 	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped, pipelined, pipelined(N) or peer")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes of the traced transfer")
+	critReport := flag.Bool("critpath", false, "print the traced transfer's critical-path analysis (attribution + what-if bounds)")
+	flame := flag.String("flame", "", "write the traced transfer's critical path as folded flamegraph stacks to this file")
 	ranks := flag.String("ranks", "", "also run the large-world matching scaling sweep at these comma-separated rank counts (e.g. 64,128,256,512)")
 	outstanding := flag.Int("outstanding", 32, "outstanding sends and receives per rank in the -ranks sweep")
 	wild := flag.Int("wild", 25, "percentage of wildcard receives in the -ranks sweep")
@@ -81,7 +84,7 @@ func main() {
 		fmt.Print(bench.FormatTable(h, r))
 	}
 
-	if *traceOut == "" && !*metrics {
+	if *traceOut == "" && !*metrics && !*critReport && *flame == "" {
 		return
 	}
 	st, block, err := clmpi.ParseStrategy(*strategyName)
@@ -98,6 +101,19 @@ func main() {
 	fmt.Printf("\ntraced transfer: %s, %d bytes, %.1f MB/s\n", st, *msg, bw/1e6)
 	if *metrics {
 		fmt.Printf("\n%s", trc.Bus().Metrics().Format())
+	}
+	if *critReport || *flame != "" {
+		a := critpath.Analyze(trc.Bus())
+		if *critReport {
+			fmt.Printf("\n%s", a.Report())
+		}
+		if *flame != "" {
+			if err := os.WriteFile(*flame, []byte(a.Folded()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote folded stacks (render with flamegraph.pl or speedscope): %s\n", *flame)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

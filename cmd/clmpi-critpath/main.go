@@ -1,0 +1,100 @@
+// Command clmpi-critpath runs the critical-path engine on a traced
+// simulation and exports the virtual-time profile: a human-readable report
+// (per-class attribution, what-if speedup bounds, per-iteration overlap
+// efficiency), folded stacks for flamegraph.pl / speedscope, and a gzipped
+// profile.proto that `go tool pprof` opens directly.
+//
+// The input is either one of the named deterministic presets (-preset
+// cichlid|ricc, the paper's two systems running the clMPI Himeno solver) or
+// a saved native trace (-in, the format written by `clmpi-trace -o dir/`).
+//
+// Usage:
+//
+//	clmpi-critpath -preset cichlid
+//	clmpi-critpath -preset ricc -folded ricc.folded -pprof ricc.pb.gz
+//	clmpi-critpath -in out/trace.native -report report.txt
+//	go tool pprof -top profile.pb.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+	"repro/internal/trace/critpath"
+)
+
+func main() {
+	preset := flag.String("preset", "cichlid", "deterministic preset to run: cichlid or ricc (ignored with -in)")
+	in := flag.String("in", "", "analyze a saved native trace instead of running a preset")
+	report := flag.String("report", "-", "write the human-readable report here ('-' = stdout, '' = skip)")
+	folded := flag.String("folded", "", "write folded flamegraph stacks to this file")
+	pprofOut := flag.String("pprof", "", "write a gzipped pprof profile.proto to this file")
+	flag.Parse()
+
+	if *in == "" && !slices.Contains(bench.TracePresetNames(), *preset) {
+		// Bad flag values exit 2, runtime failures exit 1, like the other
+		// tools.
+		fmt.Fprintf(os.Stderr, "clmpi-critpath: unknown preset %q (have: %s)\n",
+			*preset, strings.Join(bench.TracePresetNames(), ", "))
+		os.Exit(2)
+	}
+	bus, err := loadBus(*in, *preset)
+	if err != nil {
+		fail(err)
+	}
+	a := critpath.Analyze(bus)
+
+	if *report == "-" {
+		fmt.Print(a.Report())
+	} else if *report != "" {
+		if err := os.WriteFile(*report, []byte(a.Report()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *folded != "" {
+		if err := os.WriteFile(*folded, []byte(a.Folded()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := a.WriteProfile(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote pprof profile (open with `go tool pprof -top %s`)\n", *pprofOut)
+	}
+}
+
+func loadBus(in, preset string) (*trace.Bus, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadNative(f)
+	}
+	trc, err := bench.TracePreset(preset)
+	if err != nil {
+		return nil, err
+	}
+	return trc.Bus(), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "clmpi-critpath: %v\n", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@
 //	clmpi-himeno -system cichlid -size M -iters 6
 //	clmpi-himeno -system ricc
 //	clmpi-himeno -system cichlid -size S -iters 2 -trace out.json -metrics
+//	clmpi-himeno -system cichlid -size S -iters 2 -critpath -flame out.folded
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/himeno"
 	"repro/internal/profiling"
 	"repro/internal/sweep"
+	"repro/internal/trace/critpath"
 )
 
 func main() {
@@ -36,7 +38,9 @@ func main() {
 	all := flag.Bool("all", false, "include the GPU-aware MPI (§II) and out-of-order clMPI implementations")
 	traceOut := flag.String("trace", "", "write a traced clMPI run as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the traced clMPI run's metrics registry")
-	traceNodes := flag.Int("trace-nodes", 2, "node count of the traced run (-trace/-metrics)")
+	traceNodes := flag.Int("trace-nodes", 2, "node count of the traced run (-trace/-metrics/-critpath/-flame)")
+	critReport := flag.Bool("critpath", false, "print the traced run's critical-path analysis (attribution, what-if bounds, per-iteration overlap)")
+	flame := flag.String("flame", "", "write the traced run's critical path as folded flamegraph stacks to this file")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -72,7 +76,7 @@ func main() {
 	headers, rows := bench.Fig9Table(points)
 	fmt.Print(bench.FormatTable(headers, rows))
 
-	if *traceOut == "" && !*metrics {
+	if *traceOut == "" && !*metrics && !*critReport && *flame == "" {
 		return
 	}
 	trc, _, err := bench.TraceHimeno(sys, himeno.CLMPI, size, *traceNodes, *iters)
@@ -85,6 +89,19 @@ func main() {
 		*traceNodes, overlap, 100*nicUtil)
 	if *metrics {
 		fmt.Printf("\n%s", trc.Bus().Metrics().Format())
+	}
+	if *critReport || *flame != "" {
+		a := critpath.Analyze(trc.Bus())
+		if *critReport {
+			fmt.Printf("\n%s", a.Report())
+		}
+		if *flame != "" {
+			if err := os.WriteFile(*flame, []byte(a.Folded()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote folded stacks (render with flamegraph.pl or speedscope): %s\n", *flame)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -23,11 +23,14 @@ import (
 	"repro/internal/nanopowder"
 	"repro/internal/profiling"
 	"repro/internal/sweep"
+	"repro/internal/trace/critpath"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	ranks := flag.Int("ranks", 0, "extra world size for the large-world matching scaling section (0 = default grid only)")
+	critReport := flag.Bool("critpath", false, "append a critical-path profile of a traced clMPI Himeno run (attribution, what-if bounds)")
+	flame := flag.String("flame", "", "write that traced run's critical path as folded flamegraph stacks to this file")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -108,6 +111,20 @@ func main() {
 	check(err)
 	headers, rows = bench.MatchScaleTable(scale)
 	fmt.Print(bench.FormatTable(headers, rows))
+
+	if *critReport || *flame != "" {
+		section("Critical-path profile — traced clMPI Himeno run (2 Cichlid nodes)")
+		trc, _, err := bench.TraceHimeno(cluster.Cichlid(), himeno.CLMPI, himeno.SizeS, 2, himenoIters)
+		check(err)
+		a := critpath.Analyze(trc.Bus())
+		if *critReport {
+			fmt.Print(a.Report())
+		}
+		if *flame != "" {
+			check(os.WriteFile(*flame, []byte(a.Folded()), 0o644))
+			fmt.Printf("\nwrote folded stacks (render with flamegraph.pl or speedscope): %s\n", *flame)
+		}
+	}
 
 	section("Verification — distributed implementations vs host references")
 	verifySummary(himenoIters)

@@ -33,6 +33,31 @@ func TraceHimeno(sys cluster.System, impl himeno.Impl, size himeno.Size, nodes, 
 	return trc, res, nil
 }
 
+// TracePreset runs one of the named profiling presets — small, fully
+// instrumented configurations whose traces are byte-deterministic, so the
+// critical-path engine's report, folded stacks, and pprof profile can be
+// golden-tested and diffed across commits. The presets are the two systems
+// the paper reports on: "cichlid" (the GPU cluster of Table 1) and "ricc"
+// (the RICC supercomputer), each running the clMPI Himeno solver on two
+// nodes for two iterations at the XS size.
+// TracePresetNames lists the valid TracePreset arguments, for flag
+// validation.
+func TracePresetNames() []string { return []string{"cichlid", "ricc"} }
+
+func TracePreset(name string) (*trace.Tracer, error) {
+	var sys cluster.System
+	switch name {
+	case "cichlid":
+		sys = cluster.Cichlid()
+	case "ricc":
+		sys = cluster.RICC()
+	default:
+		return nil, fmt.Errorf("unknown preset %q (have: cichlid, ricc)", name)
+	}
+	trc, _, err := TraceHimeno(sys, himeno.CLMPI, himeno.SizeXS, 2, 2)
+	return trc, err
+}
+
 // ObservedOverlap extracts the headline observability numbers from a
 // summarized bus: the communication/computation overlap ratio and the peak
 // NIC-path utilization across all nodes (lanes named node*.tx / node*.rx).
@@ -68,6 +93,9 @@ func MeasureP2PTraced(sys cluster.System, st clmpi.Strategy, block, size int64, 
 	var firstErr error
 	world.LaunchRanks("bw", func(p *sim.Proc, ep *mpi.Endpoint) {
 		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("bw%d", ep.Rank()))
+		if trc != nil {
+			trc.InstrumentContext(ctx)
+		}
 		rt := fab.Attach(ctx, ep)
 		q := ctx.NewQueue(fmt.Sprintf("bwq%d", ep.Rank()))
 		if trc != nil {

@@ -62,7 +62,30 @@ type Context struct {
 
 	queues   []*CommandQueue
 	released bool
+
+	// hostObs, when set, is notified of host-thread interactions with the
+	// event graph (enqueues and wait returns); dependency-graph builders use
+	// it to recover host program order, which OpenCL's event DAG does not
+	// express.
+	hostObs HostObserver
 }
+
+// HostObserver receives host-thread causal notifications from a context:
+// which simulated process enqueued each command, and when a process's Wait
+// on an event returned. Together these recover host program order — the
+// serialization imposed by the application thread itself rather than by
+// queues or wait lists — which critical-path analysis needs to connect
+// command chains that share no event dependency.
+type HostObserver interface {
+	// CommandEnqueued reports that process proc enqueued the command whose
+	// completion ev tracks. It runs before the command can execute.
+	CommandEnqueued(proc string, ev *Event)
+	// WaitReturned reports that process proc's Wait on ev returned.
+	WaitReturned(proc string, ev *Event)
+}
+
+// SetHostObserver installs a host-thread observer (nil to remove).
+func (c *Context) SetHostObserver(o HostObserver) { c.hostObs = o }
 
 // NewContext creates a context for the device.
 func NewContext(d *Device, label string) *Context {

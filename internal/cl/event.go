@@ -101,6 +101,9 @@ func (ev *Event) complete(at sim.Time, err error) {
 // error, if any.
 func (ev *Event) Wait(p *sim.Proc) error {
 	ev.done.Wait(p)
+	if ho := ev.ctx.hostObs; ho != nil {
+		ho.WaitReturned(p.Name(), ev)
+	}
 	return ev.err
 }
 

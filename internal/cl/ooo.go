@@ -68,6 +68,11 @@ func (q *OOQueue) Enqueue(label string, waits []*Event, run func(p *sim.Proc) er
 		return nil, ErrQueueShutDown
 	}
 	ev := newEvent(q.ctx, label, false)
+	if ho := q.ctx.hostObs; ho != nil {
+		if pn := q.ctx.eng.CurrentProcName(); pn != "" {
+			ho.CommandEnqueued(pn, ev)
+		}
+	}
 	allWaits := append([]*Event(nil), waits...)
 	if q.barrier != nil {
 		allWaits = append(allWaits, q.barrier)
@@ -87,6 +92,9 @@ func (q *OOQueue) Enqueue(label string, waits []*Event, run func(p *sim.Proc) er
 		err := run(p)
 		if q.observer != nil {
 			q.observer.CommandFinished(nil, label, p.Now())
+			if co, ok := q.observer.(CausalObserver); ok {
+				co.CommandCompleted(nil, ev, allWaits, p.Name())
+			}
 		}
 		ev.complete(p.Now(), err)
 	})

@@ -38,6 +38,17 @@ type Observer interface {
 	CommandFinished(q *CommandQueue, label string, at sim.Time)
 }
 
+// CausalObserver is an optional extension of Observer: observers that also
+// implement it are told, right after CommandFinished and before the
+// command's event completes (i.e. before any dependent callbacks can run),
+// which event finished, what its wait list was, and which worker process ran
+// it. Dependency-graph builders use this to attach causal edges. q is nil
+// for out-of-order queues.
+type CausalObserver interface {
+	Observer
+	CommandCompleted(q *CommandQueue, ev *Event, waits []*Event, proc string)
+}
+
 // NewQueue creates an in-order command queue on the context's device.
 func (c *Context) NewQueue(label string) *CommandQueue {
 	q := &CommandQueue{
@@ -84,6 +95,9 @@ func (q *CommandQueue) loop(p *sim.Proc) {
 		err := cmd.run(p)
 		if q.observer != nil {
 			q.observer.CommandFinished(q, cmd.ev.label, p.Now())
+			if co, ok := q.observer.(CausalObserver); ok {
+				co.CommandCompleted(q, cmd.ev, cmd.waits, p.Name())
+			}
 		}
 		cmd.ev.complete(p.Now(), err)
 	}
@@ -100,6 +114,11 @@ func (q *CommandQueue) Enqueue(label string, waits []*Event, run func(p *sim.Pro
 		return nil, ErrQueueShutDown
 	}
 	ev := newEvent(q.ctx, label, false)
+	if ho := q.ctx.hostObs; ho != nil {
+		if pn := q.ctx.eng.CurrentProcName(); pn != "" {
+			ho.CommandEnqueued(pn, ev)
+		}
+	}
 	q.cmds.Put(&command{ev: ev, waits: append([]*Event(nil), waits...), run: run})
 	return ev, nil
 }

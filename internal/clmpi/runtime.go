@@ -26,6 +26,17 @@ type Fabric struct {
 	// xfer engine executes on behalf of this fabric.
 	stageObs xfer.Observer
 
+	// pipeObs, when set, is called on the enqueueing worker process around
+	// every device-transfer pipeline: once before any stage executes
+	// (done=false) and once after the pipeline drains (done=true), with
+	// the pipeline's trace lane and the worker process's name.
+	pipeObs func(lane, proc string, done bool)
+
+	// msgObs, when set, receives the transport sequence number of each
+	// wire-stage MPI operation immediately after it completes, on the
+	// stage's process and before that stage's span is observed.
+	msgObs func(seq uint64)
+
 	// seq numbers the fabric's host-side (CLMem hook) transfers for trace
 	// lanes; device-side transfers use the per-Runtime counter.
 	seq uint64
@@ -40,6 +51,23 @@ func (f *Fabric) SetPlanObserver(fn func(st Strategy, size int64)) { f.onPlan = 
 // stage hop (nil to remove); the observability layer maps them onto the
 // trace bus's xfer layer. Observation never affects virtual time.
 func (f *Fabric) SetStageObserver(fn xfer.Observer) { f.stageObs = fn }
+
+// SetPipeObserver installs a callback bracketing every device-transfer
+// pipeline run (nil to remove); dependency-graph builders use it to link a
+// pipeline's stage spans to the OpenCL command that ran it.
+func (f *Fabric) SetPipeObserver(fn func(lane, proc string, done bool)) { f.pipeObs = fn }
+
+// SetMsgOpObserver installs a callback receiving the mpi.Request sequence
+// number of each completed wire-stage operation (nil to remove);
+// dependency-graph builders use it to link stage spans to message events.
+func (f *Fabric) SetMsgOpObserver(fn func(seq uint64)) { f.msgObs = fn }
+
+// observeMsgOp forwards a completed wire operation's sequence number.
+func (f *Fabric) observeMsgOp(seq uint64) {
+	if f.msgObs != nil {
+		f.msgObs(seq)
+	}
+}
 
 // New creates the extension fabric for a world and registers its MPI_CL_MEM
 // handler. All ranks share the options (see Options). Negative option values

@@ -98,7 +98,15 @@ func (rt *Runtime) h2dStage(kind cluster.HostMemKind) xfer.Stage {
 // wireSendStage hands one window to the MPI transport.
 func (rt *Runtime) wireSendStage(a *xferArgs) xfer.Stage {
 	return xfer.Stage{Name: "wire.send", Run: func(p *sim.Proc, w xfer.Window) error {
-		return rt.ep.Send(p, a.data[w.Off:w.Off+w.N], a.peer, a.tag, wireDatatype, a.comm)
+		req, err := rt.ep.Isend(p, a.data[w.Off:w.Off+w.N], a.peer, a.tag, wireDatatype, a.comm)
+		if err != nil {
+			return err
+		}
+		_, err = req.Wait(p)
+		// Observe even failed waits: the wire operation ran, and graph
+		// builders need its stage linkage either way.
+		rt.fab.observeMsgOp(req.Seq())
+		return err
 	}}
 }
 
@@ -108,7 +116,12 @@ func (rt *Runtime) wireSendStage(a *xferArgs) xfer.Stage {
 func (rt *Runtime) wireRecvStage(a *xferArgs) xfer.Stage {
 	src := a.peer
 	return xfer.Stage{Name: "wire.recv", Run: func(p *sim.Proc, w xfer.Window) error {
-		st, err := rt.ep.Recv(p, a.data[w.Off:w.Off+w.N], src, a.tag, wireDatatype, a.comm)
+		req, err := rt.ep.Irecv(p, a.data[w.Off:w.Off+w.N], src, a.tag, wireDatatype, a.comm)
+		if err != nil {
+			return err
+		}
+		st, err := req.Wait(p)
+		rt.fab.observeMsgOp(req.Seq())
 		if err != nil {
 			return err
 		}
@@ -260,6 +273,10 @@ func (rt *Runtime) runSend(wp *sim.Proc, buf *cl.Buffer, offset, size int64, des
 	}
 	pipe := impl.send(rt, rt.newXferArgs("send", buf, offset, dest, tag, comm, pl))
 	pipe.Observer = rt.fab.stageObs
+	if po := rt.fab.pipeObs; po != nil {
+		po(pipe.Label, wp.Name(), false)
+		defer po(pipe.Label, wp.Name(), true)
+	}
 	return xfer.Run(wp, &pipe)
 }
 
@@ -276,5 +293,9 @@ func (rt *Runtime) runRecv(wp *sim.Proc, buf *cl.Buffer, offset, size int64, src
 	}
 	pipe := impl.recv(rt, rt.newXferArgs("recv", buf, offset, src, tag, comm, pl))
 	pipe.Observer = rt.fab.stageObs
+	if po := rt.fab.pipeObs; po != nil {
+		po(pipe.Label, wp.Name(), false)
+		defer po(pipe.Label, wp.Name(), true)
+	}
 	return xfer.Run(wp, &pipe)
 }

@@ -88,6 +88,9 @@ func Run(cfg Config) (*Result, error) {
 
 	world.LaunchRanks("himeno", func(p *sim.Proc, ep *mpi.Endpoint) {
 		ctx := cl.NewContext(cl.NewDevice(eng, ep.Node()), fmt.Sprintf("himeno%d", ep.Rank()))
+		if cfg.Trace != nil {
+			cfg.Trace.InstrumentContext(ctx)
+		}
 		rt := fab.Attach(ctx, ep)
 		rk, err := newRank(cfg.Size, cfg.Mode, cfg.Nodes, ep, ctx, rt)
 		if err != nil {

@@ -91,6 +91,7 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 		size: len(buf),
 		req:  newRequest(w.eng, fmt.Sprintf("isend %d->%d tag %d", ep.rank, dest, tag)),
 	}
+	msg.req.seq = msg.seq
 	switch {
 	case dest == ep.rank:
 		// Self-message: a shared-memory copy, no NIC involved.
@@ -117,6 +118,8 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 		msg.arrived = sim.NewTrigger(w.eng, "eager-msg")
 		w.eng.Spawn(fmt.Sprintf("eager %d->%d", ep.rank, dest), func(tp *sim.Proc) {
 			ep.wireTransfer(tp, dest, int64(msg.size))
+			w.observe(MsgEvent{Kind: MsgWireDone, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+				Seq: msg.seq, Bytes: msg.size, Eager: true, At: tp.Now()})
 			// The NIC has the data: the sender's buffer is free.
 			msg.req.complete(Status{}, nil)
 			msg.arrived.FireAfter(w.clus.Sys.NIC.WireLatency, nil)
@@ -164,6 +167,7 @@ func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
 		src:   src, tag: tag, seq: w.seq, buf: buf,
 		req: newRequest(w.eng, fmt.Sprintf("irecv %d<-%d tag %d", ep.rank, src, tag)),
 	}
+	rop.req.seq = rop.seq
 	// Take the earliest pending message in arrival order (non-overtaking per
 	// sender); only an unmatched receive joins the posted queue.
 	msg := comm.match.takeMsg(rop)

@@ -97,6 +97,7 @@ func (ep *Endpoint) Ssend(p *sim.Proc, buf []byte, dest, tag int, comm *Comm) er
 		sendBuf: buf, // rendezvous path: completes only on match
 		req:     newRequest(w.eng, fmt.Sprintf("ssend %d->%d tag %d", ep.rank, dest, tag)),
 	}
+	msg.req.seq = msg.seq
 	comm.match.addMsg(msg)
 	comm.matchPostedMsg(msg)
 	_, err := msg.req.Wait(p)

@@ -10,10 +10,17 @@ import (
 // most once; Wait and Test observe the final status and error.
 type Request struct {
 	label  string
+	seq    uint64 // owning message / receive-op sequence (0 = none)
 	done   *sim.Trigger
 	status Status
 	err    error
 }
+
+// Seq reports the sequence number of the message (sends) or receive
+// operation (receives) behind this request, matching the Seq field of the
+// world's MsgEvent notifications, or 0 for requests with no transport
+// operation (user requests).
+func (r *Request) Seq() uint64 { return r.seq }
 
 // NewUserRequest creates an unattached request plus its completion function,
 // for runtimes that layer custom transfers over MPI (the CL_MEM hook). The

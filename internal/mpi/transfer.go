@@ -30,7 +30,9 @@ func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 	w := ep.world
 	tx := w.Node(ep.rank).TX
 	rx := w.Node(dest).RX
-	d := w.clus.Sys.NIC.MsgOverhead + tx.SerializationTime(n)
+	ov := w.clus.Sys.NIC.MsgOverhead
+	ser := tx.SerializationTime(n)
+	d := ov + ser
 	// A switch path is taken first (FIFO), then the endpoints; the strict
 	// resource ordering (backplane → tx → rx) keeps the model cycle-free.
 	if bp := w.clus.Backplane; bp != nil {
@@ -39,11 +41,18 @@ func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 	}
 	tx.Lock(p)
 	rx.Lock(p)
+	start := p.Now()
 	if d > 0 {
 		p.Sleep(d)
 	}
-	tx.AddBusy(d, n)
-	rx.AddBusy(d, n)
+	// One occupancy interval, accounted as two differently-classed legs:
+	// per-message software overhead first, then wire serialization.
+	mid := start.Add(ov)
+	end := p.Now()
+	tx.ChargeTagged("mpi.sw", p.Name(), 0, start, mid)
+	tx.ChargeTagged("wire", p.Name(), n, mid, end)
+	rx.ChargeTagged("mpi.sw", p.Name(), 0, start, mid)
+	rx.ChargeTagged("wire", p.Name(), n, mid, end)
 	rx.Unlock(p)
 	tx.Unlock(p)
 }
@@ -58,11 +67,11 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 	pd, ud := c.match.depths(msg.dst)
 	delivered := func(at sim.Time) MsgEvent {
 		return MsgEvent{Kind: MsgDelivered, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-			Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: at,
+			Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, Eager: msg.eager, At: at,
 			PostedDepth: pd, UnexpectedDepth: ud}
 	}
 	w.observe(MsgEvent{Kind: MsgMatched, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-		Seq: msg.seq, Bytes: msg.size, Eager: msg.eager, At: now,
+		Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, Eager: msg.eager, At: now,
 		PostedDepth: pd, UnexpectedDepth: ud})
 	st := Status{Source: msg.src, Tag: msg.tag, Count: msg.size}
 	if msg.size > len(rop.buf) {
@@ -125,6 +134,9 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 	w.eng.Spawn(fmt.Sprintf("rndv %d->%d", msg.src, msg.dst), func(tp *sim.Proc) {
 		src := w.Endpoint(msg.src)
 		src.wireTransfer(tp, msg.dst, int64(msg.size))
+		w.observe(MsgEvent{Kind: MsgWireDone, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+			Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, At: tp.Now(),
+			PostedDepth: pd, UnexpectedDepth: ud})
 		copy(rop.buf, msg.sendBuf)
 		// Sender's buffer is reusable once the NIC is done with it.
 		msg.req.complete(Status{}, nil)

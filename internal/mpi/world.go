@@ -66,6 +66,11 @@ const (
 	MsgMatched
 	// MsgDelivered fires when the receive completes (payload in place).
 	MsgDelivered
+	// MsgWireDone fires when a message's wire transfer (eager body or
+	// rendezvous data phase) has fully left the fabric — immediately after
+	// the NIC charges land, on the transport process, so observers can
+	// correlate the preceding link-occupancy records with the message.
+	MsgWireDone
 )
 
 func (k MsgEventKind) String() string {
@@ -78,6 +83,8 @@ func (k MsgEventKind) String() string {
 		return "matched"
 	case MsgDelivered:
 		return "delivered"
+	case MsgWireDone:
+		return "wire-done"
 	default:
 		return fmt.Sprintf("MsgEventKind(%d)", int(k))
 	}
@@ -91,9 +98,13 @@ type MsgEvent struct {
 	Src, Dst int
 	Tag      int
 	Seq      uint64
-	Bytes    int
-	Eager    bool // eager protocol (meaningful from MsgSendPosted on)
-	At       sim.Time
+	// RecvSeq is the matched receive operation's sequence number, set on
+	// MsgMatched and MsgDelivered so observers can pair a message with the
+	// MsgRecvPosted event that claimed it.
+	RecvSeq uint64
+	Bytes   int
+	Eager   bool // eager protocol (meaningful from MsgSendPosted on)
+	At      sim.Time
 	// PostedDepth and UnexpectedDepth are the destination rank's
 	// matching-queue depths — posted receives and unexpected (pending)
 	// messages — immediately after the event's action took effect. The

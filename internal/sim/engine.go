@@ -29,6 +29,7 @@ type Engine struct {
 	alive     int       // processes spawned and not yet finished
 	daemons   int       // subset of alive that are daemons
 	running   bool      // true while some process goroutine is executing
+	cur       *Proc     // the process currently executing (valid while running)
 	started   bool      // Run has been called
 	stopped   bool      // simulation has ended (normally or by abort)
 	err       error
@@ -218,6 +219,20 @@ func (e *Engine) Run() error {
 	return e.err
 }
 
+// CurrentProcName reports the name of the process currently executing, or ""
+// when called from outside any process (scheduler callbacks, before Run, or
+// after the simulation ended). Because exactly one process goroutine runs at
+// a time, runtime layers use this to identify their caller without threading
+// a *Proc through every API — e.g. which host thread enqueued a command.
+func (e *Engine) CurrentProcName() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running && e.cur != nil {
+		return e.cur.name
+	}
+	return ""
+}
+
 // Err reports the simulation outcome after Run has returned.
 func (e *Engine) Err() error {
 	e.mu.Lock()
@@ -337,6 +352,7 @@ func (e *Engine) scheduleLocked() {
 		if e.ready.len() > 0 {
 			p := e.ready.pop()
 			e.running = true
+			e.cur = p
 			p.resume <- struct{}{}
 			return
 		}

@@ -30,6 +30,16 @@ type LinkObserver interface {
 	LinkBusy(link string, bytes int64, start, end Time)
 }
 
+// TaggedLinkObserver is an optional extension of LinkObserver: links whose
+// observer also implements it receive tagged occupancy notifications from
+// the *Tagged charge variants, carrying the resource class of the charge
+// (e.g. "h2d.pinned", "wire", "mpi.sw", "compute") and the name of the
+// process that made it. Untagged charges still arrive via LinkBusy.
+type TaggedLinkObserver interface {
+	LinkObserver
+	LinkBusyTagged(link, tag, proc string, bytes int64, start, end Time)
+}
+
 // SetObserver installs an occupancy observer (nil to remove).
 func (l *Link) SetObserver(o LinkObserver) { l.obs = o }
 
@@ -95,6 +105,29 @@ func (l *Link) Occupy(p *Proc, d time.Duration) {
 	}
 }
 
+// OccupyTagged is Occupy with a resource-class tag and byte accounting.
+// The occupancy is reported to a TaggedLinkObserver with the tag and the
+// occupying process's name; a plain LinkObserver sees it as LinkBusy.
+// Virtual time is charged identically to Occupy.
+func (l *Link) OccupyTagged(p *Proc, d time.Duration, tag string, bytes int64) {
+	l.mu.Lock(p)
+	start := p.Now()
+	if d > 0 {
+		p.Sleep(d)
+	}
+	l.busy += d
+	l.moved += bytes
+	l.mu.Unlock(p)
+	if l.obs == nil || d <= 0 {
+		return
+	}
+	if to, ok := l.obs.(TaggedLinkObserver); ok {
+		to.LinkBusyTagged(l.name, tag, p.Name(), bytes, start, p.Now())
+		return
+	}
+	l.obs.LinkBusy(l.name, bytes, start, p.Now())
+}
+
 // Lock acquires exclusive use of the link (FIFO). Use with Unlock and
 // AddBusy to model transfers that span multiple links concurrently, such as
 // a cut-through network hop holding the sender's TX and receiver's RX for
@@ -117,6 +150,30 @@ func (l *Link) AddBusy(d time.Duration, bytes int64) {
 	if l.obs != nil && d > 0 {
 		l.obs.LinkBusy(l.name, bytes, now.Add(-d), now)
 	}
+}
+
+// ChargeTagged records utilization accounting for an externally timed,
+// explicitly intervalled occupancy, reported with a resource-class tag and
+// the charging process's name. Unlike AddBusy the caller supplies the
+// interval, so one sleep can be split into adjacent differently-tagged legs
+// (see mpi wireTransfer) without changing virtual time.
+func (l *Link) ChargeTagged(tag, proc string, bytes int64, start, end Time) {
+	d := end.Sub(start)
+	if d < 0 {
+		return
+	}
+	l.eng.mu.Lock()
+	l.busy += d
+	l.moved += bytes
+	l.eng.mu.Unlock()
+	if l.obs == nil || d <= 0 {
+		return
+	}
+	if to, ok := l.obs.(TaggedLinkObserver); ok {
+		to.LinkBusyTagged(l.name, tag, proc, bytes, start, end)
+		return
+	}
+	l.obs.LinkBusy(l.name, bytes, start, end)
 }
 
 // Stats reports the total occupied time and bytes moved so far.

@@ -66,6 +66,81 @@ type Event struct {
 	Args  []Arg
 }
 
+// EventID identifies one event on its bus: the index into the record-order
+// event stream. Recording calls return it so instrumentation can attach
+// causal edges between events.
+type EventID int32
+
+// NoEvent is the null EventID; Edge ignores endpoints equal to it.
+const NoEvent EventID = -1
+
+// EdgeKind types a causal edge between two bus events. The critical-path
+// analyzer distinguishes ordering edges (the target could not start before
+// the source ended) from refinement edges (the source is inner activity that
+// determined when the target span ended).
+type EdgeKind byte
+
+const (
+	// EdgeQueue orders two events serialized by a FIFO resource: commands
+	// on an in-order command queue, or the same pipeline stage across
+	// consecutive windows.
+	EdgeQueue EdgeKind = iota
+	// EdgeWait orders a command after an event in its wait list (explicit
+	// event dependencies, user events, bridged MPI-request events).
+	EdgeWait
+	// EdgeMsg orders the legs of one message: send-posted → matched,
+	// recv-posted → matched, matched → delivered, and the cross-layer
+	// hops that launch them.
+	EdgeMsg
+	// EdgeHandoff orders consecutive pipeline stages of the same window
+	// (the stage-ring handoff inside one transfer).
+	EdgeHandoff
+	// EdgeCharge is a refinement edge: a resource charge (link occupancy,
+	// wire leg, delivered message) made on behalf of the target span and
+	// bounding when it could end.
+	EdgeCharge
+	// EdgePipe is a refinement edge from a transfer pipeline's final stage
+	// span to the OpenCL command that ran the pipeline.
+	EdgePipe
+	// EdgeHost orders a command after the last event its enqueuing host
+	// thread observed completing (via a wait return) before the enqueue —
+	// the program-order serialization of the application thread itself,
+	// which no event dependency expresses.
+	EdgeHost
+)
+
+// String names the edge kind for the native trace format and reports.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeQueue:
+		return "queue"
+	case EdgeWait:
+		return "wait"
+	case EdgeMsg:
+		return "msg"
+	case EdgeHandoff:
+		return "handoff"
+	case EdgeCharge:
+		return "charge"
+	case EdgePipe:
+		return "pipe"
+	case EdgeHost:
+		return "host"
+	}
+	return "?"
+}
+
+// Refines reports whether the edge kind is a refinement (inner activity of
+// the target) rather than an ordering constraint on the target's start.
+func (k EdgeKind) Refines() bool { return k == EdgeCharge || k == EdgePipe }
+
+// Edge is one typed causal edge: From happened-before (ordering kinds) or
+// refines (refinement kinds) To.
+type Edge struct {
+	Kind     EdgeKind
+	From, To EventID
+}
+
 // Bus is the unified observability collector: every instrumented layer
 // appends events here, and the exporters (ASCII Gantt, Chrome JSON) and the
 // metrics registry read from it. Like the rest of the simulation it relies
@@ -73,6 +148,7 @@ type Event struct {
 // concurrency.
 type Bus struct {
 	events  []Event
+	edges   []Edge
 	metrics *Metrics
 }
 
@@ -82,21 +158,37 @@ func NewBus() *Bus { return &Bus{metrics: NewMetrics()} }
 // Metrics returns the bus's metrics registry.
 func (b *Bus) Metrics() *Metrics { return b.metrics }
 
-// Span records a completed interval on a lane.
-func (b *Bus) Span(layer, lane, name string, start, end sim.Time, args ...Arg) {
+// Span records a completed interval on a lane and returns its id.
+func (b *Bus) Span(layer, lane, name string, start, end sim.Time, args ...Arg) EventID {
 	if end < start {
 		start, end = end, start
 	}
 	b.events = append(b.events, Event{Layer: layer, Lane: lane, Name: name, Ph: PhaseSpan, Start: start, End: end, Args: args})
+	return EventID(len(b.events) - 1)
 }
 
-// Instant records a point event on a lane.
-func (b *Bus) Instant(layer, lane, name string, at sim.Time, args ...Arg) {
+// Instant records a point event on a lane and returns its id.
+func (b *Bus) Instant(layer, lane, name string, at sim.Time, args ...Arg) EventID {
 	b.events = append(b.events, Event{Layer: layer, Lane: lane, Name: name, Ph: PhaseInstant, Start: at, End: at, Args: args})
+	return EventID(len(b.events) - 1)
+}
+
+// Edge records a typed causal edge between two previously recorded events.
+// Edges with a NoEvent endpoint, out-of-range ids, or identical endpoints
+// are dropped, so callers can pass lookups that may have missed.
+func (b *Bus) Edge(kind EdgeKind, from, to EventID) {
+	n := EventID(len(b.events))
+	if from < 0 || to < 0 || from >= n || to >= n || from == to {
+		return
+	}
+	b.edges = append(b.edges, Edge{Kind: kind, From: from, To: to})
 }
 
 // Events returns all recorded events in record order.
 func (b *Bus) Events() []Event { return append([]Event(nil), b.events...) }
+
+// Edges returns all recorded causal edges in record order.
+func (b *Bus) Edges() []Edge { return append([]Edge(nil), b.edges...) }
 
 // End reports the latest instant covered by any event (the traced horizon).
 func (b *Bus) End() sim.Time {

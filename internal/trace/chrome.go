@@ -78,19 +78,35 @@ func (b *Bus) WriteChrome(w io.Writer) error {
 		var line strings.Builder
 		id := tid[laneKey{ev.Layer, ev.Lane}]
 		fmt.Fprintf(&line, `{"ph":%q,"pid":%d,"tid":%d,"ts":%s,`, string(ev.Ph), pid[ev.Layer], id, micros(ev.Start))
+		zeroDur := false
 		if ev.Ph == PhaseSpan {
-			fmt.Fprintf(&line, `"dur":%s,`, micros(ev.End-ev.Start))
+			dur := ev.End - ev.Start
+			if dur == 0 {
+				// chrome://tracing drops zero-duration complete events and
+				// Perfetto renders them unclickably thin; widen to the
+				// 1ns resolution floor and mark the widening in args so the
+				// viewer-visible duration is never mistaken for a measurement.
+				dur = 1
+				zeroDur = true
+			}
+			fmt.Fprintf(&line, `"dur":%s,`, micros(dur))
 		} else {
 			line.WriteString(`"s":"t",`)
 		}
 		fmt.Fprintf(&line, `"cat":%s,"name":%s`, jstr(ev.Layer), jstr(ev.Name))
-		if len(ev.Args) > 0 {
+		if len(ev.Args) > 0 || zeroDur {
 			line.WriteString(`,"args":{`)
 			for j, a := range ev.Args {
 				if j > 0 {
 					line.WriteByte(',')
 				}
 				fmt.Fprintf(&line, "%s:%s", jstr(a.Key), jstr(a.Val))
+			}
+			if zeroDur {
+				if len(ev.Args) > 0 {
+					line.WriteByte(',')
+				}
+				line.WriteString(`"zero_dur":"true"`)
 			}
 			line.WriteByte('}')
 		}

@@ -21,6 +21,8 @@ func goldenBus() *Bus {
 	b.Span(LayerMPI, "rank0->rank1", `msg tag=7 "eager" 65536B`, ms(4), ms(6),
 		AInt("bytes", 65536), A("protocol", "eager"))
 	b.Span(LayerCluster, "node0.tx", "xfer", ms(4), ms(5), AInt("bytes", 65536))
+	// Zero-duration span: the exporter widens it to 1ns and marks it.
+	b.Span(LayerMPI, "rank0->rank1", "matched", ms(4), ms(4))
 	b.Instant(LayerApp, "rank0", "iter 0", ms(0))
 	return b
 }
@@ -77,7 +79,7 @@ func TestWriteChromeValidJSON(t *testing.T) {
 		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
 	}
 	// Metadata: a process_name per layer (4) plus sort indexes (4) plus a
-	// thread_name per lane (4 lanes), then 5 data events.
+	// thread_name per lane (4 lanes), then 6 data events.
 	var meta, spans, instants int
 	procs := map[string]int{}
 	for _, ev := range doc.TraceEvents {
@@ -101,7 +103,7 @@ func TestWriteChromeValidJSON(t *testing.T) {
 			t.Errorf("unexpected phase %q", ev.Ph)
 		}
 	}
-	if spans != 4 || instants != 1 || meta != 12 {
+	if spans != 5 || instants != 1 || meta != 12 {
 		t.Fatalf("spans=%d instants=%d meta=%d", spans, instants, meta)
 	}
 	// All four layers present as distinct processes.
@@ -118,6 +120,15 @@ func TestWriteChromeValidJSON(t *testing.T) {
 			}
 			if ev.Args["bytes"] != "65536" {
 				t.Fatalf("send args = %v", ev.Args)
+			}
+		}
+		// The zero-duration span is widened to 1ns (0.001µs) and marked.
+		if ev.Ph == "X" && ev.Name == "matched" {
+			if ev.Dur != 0.001 {
+				t.Fatalf("zero-duration span dur = %v, want 0.001", ev.Dur)
+			}
+			if ev.Args["zero_dur"] != "true" {
+				t.Fatalf("zero-duration span args = %v, want zero_dur marker", ev.Args)
 			}
 		}
 	}

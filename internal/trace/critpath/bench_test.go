@@ -1,0 +1,30 @@
+package critpath
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkCritPath measures one full analysis — graph build, blocking walk,
+// attribution, overlap, what-if bounds — over the traced preset runs the CI
+// gate replays. The trace is built once outside the timer so the number is
+// pure analyzer cost; BENCH_critpath.json pins the baseline for benchdiff.
+func BenchmarkCritPath(b *testing.B) {
+	for _, preset := range []string{"cichlid", "ricc"} {
+		b.Run("preset="+preset, func(b *testing.B) {
+			tr, err := bench.TracePreset(preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bus := tr.Bus()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if a := Analyze(bus); len(a.Steps) == 0 {
+					b.Fatal("empty critical path")
+				}
+			}
+		})
+	}
+}

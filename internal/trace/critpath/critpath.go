@@ -1,0 +1,527 @@
+// Package critpath is the critical-path engine over the trace bus: it turns
+// the event stream and its typed causal edges into the blocking chain that
+// determined the run's end time, attributes every nanosecond of that chain
+// to a resource class (GPU compute, PCIe direction and memory kind, NIC
+// wire, MPI software overhead, host blocking), and bounds the speedup
+// available from each class ("NIC infinitely fast ⇒ end −23%") by a
+// lag-preserving longest-path recompute with that class zeroed.
+//
+// The analysis is a pure function of a *trace.Bus — it never touches the
+// simulation — so it runs identically on a live run and on a trace reloaded
+// with trace.ReadNative, and is byte-stable for golden gating.
+package critpath
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ClassBlock is the resource class of critical-path segments not covered by
+// any recorded activity: the host (or a worker) was parked waiting with
+// nothing attributable underneath.
+const ClassBlock = "host.block"
+
+// Step is one segment of the critical path: the interval [From, To) of
+// virtual time attributed to one event (Node == the bus event index) or to
+// a blocking gap (Node < 0). Steps tile [0, Analysis.End) exactly.
+type Step struct {
+	Node  int32 // bus event index, -1 for a blocking gap
+	Class string
+	Name  string // event name, "(blocked)" for gaps
+	Lane  string
+	From  sim.Time
+	To    sim.Time
+}
+
+// Dur is the step's attributed duration.
+func (s Step) Dur() time.Duration { return s.To.Sub(s.From) }
+
+// ClassTotal is one resource class's share of the critical path.
+type ClassTotal struct {
+	Class string
+	Dur   time.Duration
+	Frac  float64 // of Analysis.End
+}
+
+// WhatIf is one speedup bound: with every span of Class taking zero time
+// (and all scheduling lags preserved), the run could not have ended before
+// End — a reduction of Delta (fraction of the original end time).
+type WhatIf struct {
+	Class string
+	End   sim.Time
+	Delta float64
+}
+
+// Analysis is the result of analyzing one trace.
+type Analysis struct {
+	// End is the analyzed horizon: the latest End of any bus event, which
+	// for a traced run equals the simulation's end time.
+	End sim.Time
+	// Steps is the critical path in ascending time order, tiling [0, End).
+	Steps []Step
+	// Classes aggregates Steps by resource class, largest first.
+	Classes []ClassTotal
+	// WhatIfs holds one speedup bound per non-blocking class, largest
+	// reduction first.
+	WhatIfs []WhatIf
+	// IterEff is the per-iteration overlap efficiency — the fraction of
+	// each application-iteration window whose critical path is resource
+	// activity rather than host blocking — when LayerApp iteration markers
+	// are present, nil otherwise.
+	IterEff []float64
+	// NodeCount and EdgeCount size the analyzed graph (edges include the
+	// implicit per-lane FIFO chains).
+	NodeCount, EdgeCount int
+}
+
+// graph is the analyzed dependency graph: bus events as nodes, bus edges
+// plus implicit per-lane FIFO chain edges as edges, incoming adjacency
+// split by refinement.
+type graph struct {
+	ev     []trace.Event
+	order  [][]int32 // ordering predecessors (start constraints)
+	refine [][]int32 // refinement predecessors (inner activity)
+	edges  []gedge   // every edge, for the what-if recompute and reachability
+	class  []string  // cached classOf per node
+}
+
+type gedge struct {
+	from, to int32
+	refines  bool
+}
+
+// build constructs the graph. Implicit chain edges serialize each
+// (layer, lane) pair's non-overlapping events in time order — an in-order
+// queue's commands, a link mutex's charges — linking every event to the
+// latest predecessor on its lane that ended by its start. Overlapping
+// same-lane events (concurrent pipeline stages, in-flight messages of one
+// rank pair) get no chain edge; their ordering is carried by typed edges.
+func build(b *trace.Bus) *graph {
+	g := &graph{ev: b.Events()}
+	n := len(g.ev)
+	g.order = make([][]int32, n)
+	g.refine = make([][]int32, n)
+	g.class = make([]string, n)
+	for i := range g.ev {
+		g.class[i] = classOf(&g.ev[i])
+	}
+	for _, e := range b.Edges() {
+		g.addEdge(int32(e.From), int32(e.To), e.Kind.Refines())
+	}
+	// Per-lane chains.
+	laneIdx := map[string][]int32{}
+	var lanes []string
+	for i := range g.ev {
+		k := g.ev[i].Layer + "\x00" + g.ev[i].Lane
+		if _, ok := laneIdx[k]; !ok {
+			lanes = append(lanes, k)
+		}
+		laneIdx[k] = append(laneIdx[k], int32(i))
+	}
+	sort.Strings(lanes)
+	for _, k := range lanes {
+		ids := laneIdx[k]
+		sort.Slice(ids, func(a, b int) bool {
+			ea, eb := &g.ev[ids[a]], &g.ev[ids[b]]
+			if ea.Start != eb.Start {
+				return ea.Start < eb.Start
+			}
+			if ea.End != eb.End {
+				return ea.End < eb.End
+			}
+			return ids[a] < ids[b]
+		})
+		// byEnd holds already-placed lane events ordered by (End, idx);
+		// each event chains from the latest one that ended by its start.
+		byEnd := make([]int32, 0, len(ids))
+		for _, id := range ids {
+			start := g.ev[id].Start
+			lo, hi := 0, len(byEnd)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if g.ev[byEnd[mid]].End <= start {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo > 0 {
+				g.addEdge(byEnd[lo-1], id, false)
+			}
+			end := g.ev[id].End
+			at := sort.Search(len(byEnd), func(i int) bool { return g.ev[byEnd[i]].End > end })
+			byEnd = append(byEnd, 0)
+			copy(byEnd[at+1:], byEnd[at:])
+			byEnd[at] = id
+		}
+	}
+	return g
+}
+
+func (g *graph) addEdge(from, to int32, refines bool) {
+	if from < 0 || to < 0 || int(from) >= len(g.ev) || int(to) >= len(g.ev) || from == to {
+		return
+	}
+	g.edges = append(g.edges, gedge{from: from, to: to, refines: refines})
+	if refines {
+		g.refine[to] = append(g.refine[to], from)
+	} else {
+		g.order[to] = append(g.order[to], from)
+	}
+}
+
+// classOf maps a bus event to its resource class. Tagged cluster charges
+// carry the class in their name; everything else is inferred from layer,
+// lane and label.
+func classOf(ev *trace.Event) string {
+	switch ev.Layer {
+	case trace.LayerCluster:
+		switch {
+		case ev.Name == "compute":
+			return "gpu.kernel"
+		case strings.HasPrefix(ev.Name, "h2d."), strings.HasPrefix(ev.Name, "d2h."):
+			return "pcie." + ev.Name
+		case ev.Name == "mpi.sw":
+			return "mpi.sw"
+		case ev.Name == "wire":
+			return "nic.wire"
+		}
+		// Untagged occupancy: infer from the link's name.
+		switch {
+		case strings.HasSuffix(ev.Lane, ".tx"), strings.HasSuffix(ev.Lane, ".rx"):
+			return "nic.wire"
+		case strings.HasSuffix(ev.Lane, ".compute"):
+			return "gpu.kernel"
+		case strings.HasSuffix(ev.Lane, ".h2d"):
+			return "pcie.h2d"
+		case strings.HasSuffix(ev.Lane, ".d2h"):
+			return "pcie.d2h"
+		}
+		return "cluster.other"
+	case trace.LayerMPI:
+		return "mpi.proto"
+	case trace.LayerCL:
+		switch trace.CommandGlyph(ev.Name) {
+		case 'K':
+			return "gpu.kernel"
+		case 'D':
+			return "pcie.copy"
+		case 'S', 'R':
+			return "clmpi.cmd"
+		}
+		return "cl.cmd"
+	case trace.LayerXfer:
+		return "stage." + ev.Name
+	case trace.LayerApp:
+		return "app.marker"
+	}
+	return "other"
+}
+
+// better reports whether candidate a beats b under the walk's tie-breaking:
+// larger key first, then spans over instants, then later start, then larger
+// index. keyA/keyB are the candidates' effective end times.
+func (g *graph) better(a int32, keyA sim.Time, b int32, keyB sim.Time) bool {
+	if b < 0 {
+		return true
+	}
+	if keyA != keyB {
+		return keyA > keyB
+	}
+	ea, eb := &g.ev[a], &g.ev[b]
+	aSpan, bSpan := ea.Ph == trace.PhaseSpan, eb.Ph == trace.PhaseSpan
+	if aSpan != bSpan {
+		return aSpan
+	}
+	if ea.Start != eb.Start {
+		return ea.Start > eb.Start
+	}
+	return a > b
+}
+
+// endNode picks the walk's anchor: the event with the latest End. Ties
+// prefer spans over instants and then the earliest start — the outermost
+// enclosing activity — so the walk begins at the command that finished last,
+// not at one of the inner charges that refined it (which carry no incoming
+// edges of their own).
+func (g *graph) endNode() int32 {
+	best := int32(-1)
+	for i := range g.ev {
+		c := int32(i)
+		if best < 0 {
+			best = c
+			continue
+		}
+		ec, eb := &g.ev[c], &g.ev[best]
+		switch {
+		case ec.End != eb.End:
+			if ec.End > eb.End {
+				best = c
+			}
+		case (ec.Ph == trace.PhaseSpan) != (eb.Ph == trace.PhaseSpan):
+			if ec.Ph == trace.PhaseSpan {
+				best = c
+			}
+		case ec.Start != eb.Start:
+			if ec.Start < eb.Start {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// walk extracts the critical path: starting from the anchor's end it moves
+// backward through the graph, maintaining a time cursor that decreases
+// monotonically to zero. At each node it first descends refinement edges
+// (the inner charge that bounded the node's end, attributing the tail after
+// it to the node's own class), then attributes the node's remaining extent,
+// then moves to the ordering predecessor with the latest effective end —
+// attributing any uncovered gap to ClassBlock. A descent remembers the span
+// it descended from: inner charges carry no incoming edges of their own, so
+// when a branch dead-ends the walk resumes from the owning span's earlier
+// charges and ordering predecessors rather than giving up. By construction
+// the steps tile [0, anchor.End) exactly, so the path end equals the traced
+// horizon and the attribution sums to it.
+func (g *graph) walk() []Step {
+	n := g.endNode()
+	if n < 0 {
+		return nil
+	}
+	cursor := g.ev[n].End
+	var rev []Step
+	emit := func(node int32, class string, from, to sim.Time) {
+		if to <= from {
+			return
+		}
+		st := Step{Node: node, Class: class, From: from, To: to}
+		if node >= 0 {
+			st.Name = g.ev[node].Name
+			st.Lane = g.ev[node].Lane
+		} else {
+			st.Name = "(blocked)"
+		}
+		rev = append(rev, st)
+	}
+	// owners stacks the spans whose refinement we descended into; descended
+	// marks refine nodes already visited so a zero-length charge cannot be
+	// re-entered after a pop.
+	var owners []int32
+	descended := make([]bool, len(g.ev))
+	budget := 8*len(g.ev) + 32
+	for step := 0; step < budget && cursor > 0; step++ {
+		ev := &g.ev[n]
+		// Refinement descent: the latest inner activity that had ended by
+		// the cursor explains the node's extent up to its own end; the lag
+		// from it to the cursor is the node's own overhead.
+		r, rEnd := int32(-1), sim.Time(0)
+		for _, c := range g.refine[n] {
+			if descended[c] {
+				continue
+			}
+			if e := g.ev[c].End; e <= cursor && e > ev.Start && g.better(c, e, r, rEnd) {
+				r, rEnd = c, e
+			}
+		}
+		if r >= 0 {
+			emit(n, g.class[n], rEnd, cursor)
+			descended[r] = true
+			owners = append(owners, n)
+			n, cursor = r, rEnd
+			continue
+		}
+		// The node's own segment.
+		emit(n, g.class[n], ev.Start, cursor)
+		if ev.Start < cursor {
+			cursor = ev.Start
+		}
+		if cursor == 0 {
+			break
+		}
+		// Move to the ordering predecessor with the latest effective end.
+		p, pKey := int32(-1), sim.Time(0)
+		for _, c := range g.order[n] {
+			key := g.ev[c].End
+			if key > cursor {
+				key = cursor
+			}
+			if g.better(c, key, p, pKey) {
+				p, pKey = c, key
+			}
+		}
+		if p >= 0 {
+			if pKey < cursor {
+				emit(-1, ClassBlock, pKey, cursor)
+				cursor = pKey
+			}
+			n = p
+			continue
+		}
+		// Dead end: resume from the span this refinement branch belongs to.
+		if len(owners) > 0 {
+			n = owners[len(owners)-1]
+			owners = owners[:len(owners)-1]
+			continue
+		}
+		emit(-1, ClassBlock, 0, cursor)
+		cursor = 0
+		break
+	}
+	// Safety: a pathological graph that exhausts the step budget still
+	// yields a complete tiling (the identity tests depend on it).
+	emit(-1, ClassBlock, 0, cursor)
+	// Reverse into ascending time order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Analyze runs the full critical-path analysis of a traced run.
+func Analyze(b *trace.Bus) *Analysis {
+	g := build(b)
+	a := &Analysis{
+		End:       b.End(),
+		Steps:     g.walk(),
+		NodeCount: len(g.ev),
+		EdgeCount: len(g.edges),
+	}
+	// Per-class attribution.
+	byClass := map[string]time.Duration{}
+	var classes []string
+	for _, st := range a.Steps {
+		if _, ok := byClass[st.Class]; !ok {
+			classes = append(classes, st.Class)
+		}
+		byClass[st.Class] += st.Dur()
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if byClass[classes[i]] != byClass[classes[j]] {
+			return byClass[classes[i]] > byClass[classes[j]]
+		}
+		return classes[i] < classes[j]
+	})
+	horizon := float64(a.End)
+	for _, c := range classes {
+		ct := ClassTotal{Class: c, Dur: byClass[c]}
+		if horizon > 0 {
+			ct.Frac = float64(ct.Dur) / horizon
+		}
+		a.Classes = append(a.Classes, ct)
+	}
+	// What-if bounds for every attributable class.
+	for _, ct := range a.Classes {
+		if ct.Class == ClassBlock || ct.Class == "app.marker" {
+			continue
+		}
+		end := g.whatIf(ct.Class)
+		wi := WhatIf{Class: ct.Class, End: end}
+		if horizon > 0 {
+			wi.Delta = float64(a.End.Sub(end)) / horizon
+		}
+		a.WhatIfs = append(a.WhatIfs, wi)
+	}
+	sort.SliceStable(a.WhatIfs, func(i, j int) bool {
+		if a.WhatIfs[i].Delta != a.WhatIfs[j].Delta {
+			return a.WhatIfs[i].Delta > a.WhatIfs[j].Delta
+		}
+		return a.WhatIfs[i].Class < a.WhatIfs[j].Class
+	})
+	a.IterEff = iterEfficiency(g, a)
+	return a
+}
+
+// iterEfficiency computes, per application iteration (LayerApp instant
+// markers, as in Bus.IterationOverlap), the fraction of the iteration's
+// critical path that is attributed resource activity rather than blocking.
+func iterEfficiency(g *graph, a *Analysis) []float64 {
+	first := map[string]sim.Time{}
+	var names []string
+	for i := range g.ev {
+		ev := &g.ev[i]
+		if ev.Layer != trace.LayerApp || ev.Ph != trace.PhaseInstant {
+			continue
+		}
+		if _, ok := first[ev.Name]; !ok {
+			first[ev.Name] = ev.Start
+			names = append(names, ev.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	bounds := make([]sim.Time, 0, len(names)+1)
+	for _, n := range names {
+		bounds = append(bounds, first[n])
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = append(bounds, a.End)
+	out := make([]float64, 0, len(bounds)-1)
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		if hi <= lo {
+			out = append(out, 0)
+			continue
+		}
+		var blocked time.Duration
+		for _, st := range a.Steps {
+			if st.Class != ClassBlock {
+				continue
+			}
+			f, t := st.From, st.To
+			if f < lo {
+				f = lo
+			}
+			if t > hi {
+				t = hi
+			}
+			if t > f {
+				blocked += t.Sub(f)
+			}
+		}
+		out = append(out, 1-float64(blocked)/float64(hi.Sub(lo)))
+	}
+	return out
+}
+
+// Orphans returns the bus-event ids of span events not connected — through
+// typed edges or implicit lane chains, in either direction — to the trace's
+// end anchor. A correctly instrumented run has none: every recorded span is
+// reachable in the dependency graph (the property the randomized
+// instrumentation test enforces).
+func Orphans(b *trace.Bus) []trace.EventID {
+	g := build(b)
+	root := g.endNode()
+	if root < 0 {
+		return nil
+	}
+	adj := make([][]int32, len(g.ev))
+	for _, e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		adj[e.to] = append(adj[e.to], e.from)
+	}
+	seen := make([]bool, len(g.ev))
+	queue := []int32{root}
+	seen[root] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	var out []trace.EventID
+	for i := range g.ev {
+		if !seen[i] && g.ev[i].Ph == trace.PhaseSpan {
+			out = append(out, trace.EventID(i))
+		}
+	}
+	return out
+}

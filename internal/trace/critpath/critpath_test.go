@@ -1,0 +1,178 @@
+package critpath
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/clmpi"
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+	"repro/internal/trace"
+)
+
+// tracedP2P runs one traced point-to-point transfer and returns its bus.
+func tracedP2P(t *testing.T, st clmpi.Strategy, size int64) *trace.Bus {
+	t.Helper()
+	trc := trace.New()
+	if _, err := bench.MeasureP2PTraced(cluster.Cichlid(), st, 0, size, trc); err != nil {
+		t.Fatalf("MeasureP2PTraced: %v", err)
+	}
+	return trc.Bus()
+}
+
+// tracedHimeno runs one traced Himeno configuration and returns its bus.
+func tracedHimeno(t *testing.T, sys cluster.System, size himeno.Size, nodes, iters int) *trace.Bus {
+	t.Helper()
+	trc, _, err := bench.TraceHimeno(sys, himeno.CLMPI, size, nodes, iters)
+	if err != nil {
+		t.Fatalf("TraceHimeno: %v", err)
+	}
+	return trc.Bus()
+}
+
+// checkIdentity asserts the two structural invariants of the walk: the path
+// ends exactly at the traced horizon, and the steps tile [0, End) with no
+// gaps or overlaps (so the attribution sums to the path length).
+func checkIdentity(t *testing.T, b *trace.Bus, a *Analysis) {
+	t.Helper()
+	if a.End != b.End() {
+		t.Fatalf("analysis end %d != bus end %d", a.End, b.End())
+	}
+	if len(a.Steps) == 0 {
+		t.Fatal("no steps")
+	}
+	cursor := a.Steps[0].From
+	if cursor != 0 {
+		t.Fatalf("path starts at %d, want 0", cursor)
+	}
+	for i, st := range a.Steps {
+		if st.From != cursor {
+			t.Fatalf("step %d starts at %d, want %d (gap or overlap)", i, st.From, cursor)
+		}
+		if st.To <= st.From {
+			t.Fatalf("step %d not forward: [%d,%d)", i, st.From, st.To)
+		}
+		cursor = st.To
+	}
+	if cursor != a.End {
+		t.Fatalf("path ends at %d, want %d", cursor, a.End)
+	}
+	var sum int64
+	for _, ct := range a.Classes {
+		sum += int64(ct.Dur)
+	}
+	if sum != int64(a.End) {
+		t.Fatalf("class attribution sums to %d, want %d", sum, a.End)
+	}
+}
+
+func TestAnalyzeP2PIdentity(t *testing.T) {
+	for _, st := range []clmpi.Strategy{clmpi.Pinned, clmpi.Mapped, clmpi.Pipelined} {
+		t.Run(st.String(), func(t *testing.T) {
+			b := tracedP2P(t, st, 1<<20)
+			a := Analyze(b)
+			checkIdentity(t, b, a)
+		})
+	}
+}
+
+func TestAnalyzeHimenoIdentity(t *testing.T) {
+	b := tracedHimeno(t, cluster.Cichlid(), himeno.SizeXS, 2, 2)
+	a := Analyze(b)
+	checkIdentity(t, b, a)
+	if len(a.IterEff) != 2 {
+		t.Fatalf("got %d iteration efficiencies, want 2", len(a.IterEff))
+	}
+	t.Logf("\n%s", a.Report())
+}
+
+// TestWhatIfBaselineExact: with no class zeroed, the lag-preserving
+// recompute reproduces the traced end exactly — the calibration every
+// per-class bound is measured against.
+func TestWhatIfBaselineExact(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		bus  func(t *testing.T) *trace.Bus
+	}{
+		{"p2p", func(t *testing.T) *trace.Bus { return tracedP2P(t, clmpi.Pipelined, 1<<20) }},
+		{"himeno", func(t *testing.T) *trace.Bus { return tracedHimeno(t, cluster.Cichlid(), himeno.SizeXS, 2, 2) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			b := mk.bus(t)
+			g := build(b)
+			if got := g.whatIf("\x00none"); got != b.End() {
+				t.Fatalf("baseline what-if end %d != traced end %d", got, b.End())
+			}
+		})
+	}
+}
+
+// TestWhatIfBounded: zeroing a class can only shrink the bound, never past
+// zero and never beyond the original end.
+func TestWhatIfBounded(t *testing.T) {
+	b := tracedHimeno(t, cluster.Cichlid(), himeno.SizeXS, 2, 2)
+	a := Analyze(b)
+	if len(a.WhatIfs) == 0 {
+		t.Fatal("no what-if bounds")
+	}
+	for _, w := range a.WhatIfs {
+		if w.End < 0 || w.End > a.End {
+			t.Fatalf("what-if %s end %d outside [0,%d]", w.Class, w.End, a.End)
+		}
+		if w.Delta < 0 || w.Delta > 1 {
+			t.Fatalf("what-if %s delta %f outside [0,1]", w.Class, w.Delta)
+		}
+	}
+}
+
+func TestOrphansTracedRuns(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		bus  func(t *testing.T) *trace.Bus
+	}{
+		{"p2p-pinned", func(t *testing.T) *trace.Bus { return tracedP2P(t, clmpi.Pinned, 1<<20) }},
+		{"p2p-pipelined", func(t *testing.T) *trace.Bus { return tracedP2P(t, clmpi.Pipelined, 1<<20) }},
+		{"himeno", func(t *testing.T) *trace.Bus { return tracedHimeno(t, cluster.Cichlid(), himeno.SizeXS, 2, 2) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			b := mk.bus(t)
+			orphans := Orphans(b)
+			evs := b.Events()
+			for _, id := range orphans {
+				ev := evs[id]
+				t.Errorf("orphan span %d: layer=%s lane=%s name=%s [%d,%d)",
+					id, ev.Layer, ev.Lane, ev.Name, ev.Start, ev.End)
+			}
+		})
+	}
+}
+
+// TestNativeRoundTrip: analyzing a reloaded trace gives the same result as
+// analyzing the live bus, and the native serialization round-trips.
+func TestNativeRoundTrip(t *testing.T) {
+	b := tracedP2P(t, clmpi.Pipelined, 1<<20)
+	var buf1 bytes.Buffer
+	if err := b.WriteNative(&buf1); err != nil {
+		t.Fatalf("WriteNative: %v", err)
+	}
+	first := buf1.String()
+	b2, err := trace.ReadNative(&buf1)
+	if err != nil {
+		t.Fatalf("ReadNative: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := b2.WriteNative(&buf2); err != nil {
+		t.Fatalf("WriteNative(reload): %v", err)
+	}
+	if first != buf2.String() {
+		t.Fatal("native format does not round-trip byte-identically")
+	}
+	a1, a2 := Analyze(b), Analyze(b2)
+	if a1.Report() != a2.Report() {
+		t.Fatal("analysis differs between live and reloaded trace")
+	}
+	if a1.Folded() != a2.Folded() {
+		t.Fatal("folded output differs between live and reloaded trace")
+	}
+}

@@ -1,0 +1,101 @@
+package critpath
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPresetGolden pins the analyzer's three exports byte-for-byte on the
+// two deterministic presets: the report, the folded flamegraph stacks, and
+// the uncompressed pprof profile.proto. Any change to the walk, the edge
+// model, the attribution rules, or the encoders shows up as a golden diff
+// here before it shows up as a confusing profile in someone's terminal.
+func TestPresetGolden(t *testing.T) {
+	for _, preset := range []string{"cichlid", "ricc"} {
+		t.Run(preset, func(t *testing.T) {
+			trc, err := bench.TracePreset(preset)
+			if err != nil {
+				t.Fatalf("TracePreset: %v", err)
+			}
+			b := trc.Bus()
+			a := Analyze(b)
+			checkIdentity(t, b, a)
+			checkGolden(t, preset+"_report.txt", []byte(a.Report()))
+			checkGolden(t, preset+".folded", []byte(a.Folded()))
+			checkGolden(t, preset+"_profile.pb", a.ProfileBytes())
+			// The encoding itself must be deterministic, not just the run.
+			if !bytes.Equal(a.ProfileBytes(), a.ProfileBytes()) {
+				t.Fatal("ProfileBytes is not deterministic")
+			}
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch for %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestPprofToolReadsProfile feeds the gzipped export to the real
+// `go tool pprof -top` and checks it prints the expected virtual-time
+// samples — the end-to-end guarantee behind "works with standard tooling".
+func TestPprofToolReadsProfile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	trc, err := bench.TracePreset("cichlid")
+	if err != nil {
+		t.Fatalf("TracePreset: %v", err)
+	}
+	a := Analyze(trc.Bus())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteProfile(f); err != nil {
+		f.Close()
+		t.Fatalf("WriteProfile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "tool", "pprof", "-top", path)
+	// pprof writes transient state under $HOME; keep it inside the test dir.
+	cmd.Env = append(os.Environ(), "PPROF_TMPDIR="+dir, "HOME="+dir, "XDG_CACHE_HOME="+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"virtual", "host.block"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pprof -top output missing %q:\n%s", want, out)
+		}
+	}
+}

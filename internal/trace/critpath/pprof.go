@@ -1,0 +1,152 @@
+package critpath
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// pprof export: the critical path as a profile.proto of virtual time, so
+// `go tool pprof` (top, flamegraph, web UI) works on simulated runs. Each
+// aggregated (name, lane, class) attribution becomes one sample with the
+// stack [name ← lane ← class] (leaf first, as pprof expects) and its
+// on-path virtual nanoseconds as the value. The encoding is hand-rolled
+// protobuf — the profile schema is tiny and stable, and hand-encoding keeps
+// the export dependency-free and byte-deterministic.
+
+// ProfileBytes returns the uncompressed profile.proto encoding.
+func (a *Analysis) ProfileBytes() []byte {
+	keys, agg := a.foldedSamples()
+
+	// String table: index 0 must be "".
+	strIdx := map[string]int64{"": 0}
+	table := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(table))
+		strIdx[s] = i
+		table = append(table, s)
+		return i
+	}
+	typeIdx := intern("virtual")
+	unitIdx := intern("nanoseconds")
+
+	// One function + one location per distinct frame string.
+	funcIdx := map[string]uint64{}
+	var funcNames []int64
+	frameID := func(s string) uint64 {
+		if id, ok := funcIdx[s]; ok {
+			return id
+		}
+		id := uint64(len(funcNames) + 1)
+		funcIdx[s] = id
+		funcNames = append(funcNames, intern(s))
+		return id
+	}
+
+	type sample struct {
+		locs  []uint64
+		value int64
+	}
+	var samples []sample
+	for _, k := range keys {
+		if agg[k] <= 0 {
+			continue
+		}
+		// Leaf first: name, then lane, then class.
+		samples = append(samples, sample{
+			locs:  []uint64{frameID(k[0]), frameID(k[1]), frameID(k[2])},
+			value: agg[k],
+		})
+	}
+
+	var p pbuf
+	// Field 1: sample_type = ValueType{type, unit}.
+	var vt pbuf
+	vt.varintField(1, uint64(typeIdx))
+	vt.varintField(2, uint64(unitIdx))
+	p.bytesField(1, vt.b)
+	// Field 2: samples.
+	for _, s := range samples {
+		var sb pbuf
+		sb.packedField(1, s.locs)
+		sb.packedField(2, []uint64{uint64(s.value)})
+		p.bytesField(2, sb.b)
+	}
+	// Field 4: locations (one synthetic line each).
+	for id := uint64(1); id <= uint64(len(funcNames)); id++ {
+		var ln pbuf
+		ln.varintField(1, id) // Line.function_id
+		var loc pbuf
+		loc.varintField(1, id) // Location.id
+		loc.bytesField(4, ln.b)
+		p.bytesField(4, loc.b)
+	}
+	// Field 5: functions.
+	for i, nameIdx := range funcNames {
+		var fn pbuf
+		fn.varintField(1, uint64(i)+1)     // Function.id
+		fn.varintField(2, uint64(nameIdx)) // Function.name
+		p.bytesField(5, fn.b)
+	}
+	// Field 6: string table.
+	for _, s := range table {
+		p.bytesField(6, []byte(s))
+	}
+	// Field 10: duration_nanos — the traced horizon. time_nanos (field 9)
+	// stays unset: virtual time has no wall-clock anchor, and omitting it
+	// keeps the export byte-stable.
+	p.varintField(10, uint64(a.End))
+	return p.b
+}
+
+// WriteProfile writes the gzipped profile.proto, the on-disk format
+// `go tool pprof` consumes.
+func (a *Analysis) WriteProfile(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(a.ProfileBytes()); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// pbuf is a minimal protobuf wire-format encoder.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varintField encodes a varint-typed field, skipping proto3 zero defaults.
+func (p *pbuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 0) // wire type 0
+	p.varint(v)
+}
+
+// bytesField encodes a length-delimited field (message, string, bytes).
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2) // wire type 2
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedField encodes a packed repeated varint field.
+func (p *pbuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}

@@ -1,0 +1,110 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report renders the analysis as a deterministic human-readable table:
+// horizon and graph size, per-class critical-path attribution, the what-if
+// speedup bounds, and the per-iteration overlap efficiency when iteration
+// markers were traced.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical-path analysis\n")
+	fmt.Fprintf(&b, "  horizon      %15d ns  (%s)\n", int64(a.End), time.Duration(a.End))
+	fmt.Fprintf(&b, "  graph        %d events, %d edges\n", a.NodeCount, a.EdgeCount)
+	fmt.Fprintf(&b, "  path steps   %d\n", len(a.Steps))
+	fmt.Fprintf(&b, "\ntime attribution (blocking critical path)\n")
+	fmt.Fprintf(&b, "  %-22s %15s %8s\n", "class", "on-path ns", "share")
+	var sum time.Duration
+	for _, ct := range a.Classes {
+		fmt.Fprintf(&b, "  %-22s %15d %7.2f%%\n", ct.Class, int64(ct.Dur), 100*ct.Frac)
+		sum += ct.Dur
+	}
+	fmt.Fprintf(&b, "  %-22s %15d %7.2f%%\n", "total", int64(sum), pct(float64(sum), float64(a.End)))
+	if len(a.WhatIfs) > 0 {
+		fmt.Fprintf(&b, "\nwhat-if bounds (class infinitely fast, lags preserved)\n")
+		for _, w := range a.WhatIfs {
+			fmt.Fprintf(&b, "  %-22s -> end %15d ns  (-%.2f%%)\n", w.Class, int64(w.End), 100*w.Delta)
+		}
+	}
+	if len(a.IterEff) > 0 {
+		fmt.Fprintf(&b, "\nper-iteration overlap efficiency\n")
+		for k, e := range a.IterEff {
+			fmt.Fprintf(&b, "  iter %3d   %6.2f%%\n", k, 100*e)
+		}
+	}
+	return b.String()
+}
+
+func pct(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}
+
+// frames returns the step's flamegraph stack, root-first: the attributed
+// event's name, its lane, and its resource class. Gap steps collapse to the
+// blocking class alone.
+func (s *Step) frames() [3]string {
+	if s.Node < 0 {
+		return [3]string{s.Class, s.Class, s.Class}
+	}
+	return [3]string{sanitize(s.Name), sanitize(s.Lane), s.Class}
+}
+
+// sanitize keeps a label safe for the folded-stack format (';' separates
+// frames, whitespace separates the count).
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, ";", ",")
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", " ")
+	if s == "" {
+		return "(unnamed)"
+	}
+	return s
+}
+
+// foldedSamples aggregates the path steps into (name, lane, class) → ns.
+func (a *Analysis) foldedSamples() ([][3]string, map[[3]string]int64) {
+	agg := map[[3]string]int64{}
+	var keys [][3]string
+	for i := range a.Steps {
+		fr := a.Steps[i].frames()
+		if _, ok := agg[fr]; !ok {
+			keys = append(keys, fr)
+		}
+		agg[fr] += int64(a.Steps[i].Dur())
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	return keys, agg
+}
+
+// Folded renders the critical path as folded stacks ("name;lane;class ns",
+// one line per aggregate, sorted), the input format of flamegraph.pl and of
+// speedscope's folded importer. Values are virtual nanoseconds on the
+// blocking critical path.
+func (a *Analysis) Folded() string {
+	keys, agg := a.foldedSamples()
+	var b strings.Builder
+	for _, k := range keys {
+		if agg[k] <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s;%s;%s %d\n", k[0], k[1], k[2], agg[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package critpath
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// whatIf recomputes the run's earliest possible end with every event of the
+// zeroed class taking no time, as a lag-preserving longest-path pass over
+// the dependency graph. Edges contribute by temporal shape, not static kind:
+//
+//   - predecessors that ran during the node (p.End > n.Start) explain the
+//     node's extent the way inner charges do — the span was waiting on
+//     them — and contribute max(finish(p)) + (n.End − max(p.End)),
+//     preserving only the trailing lag after the last inner activity
+//     (per-pred trailing lags would let an early-ending inner predecessor
+//     freeze the whole remaining extent, which is really explained by the
+//     later-ending ones);
+//   - a predecessor that ended before the node began contributes
+//     finish(p) + (n.Start − p.End) + dur(n), preserving the observed
+//     scheduling lag;
+//   - dur(n) is the node's own extent, but only when nothing overlapped it
+//     (otherwise its extent is waiting, already explained above) and its
+//     class is not the zeroed one; nodes with no predecessors keep their
+//     original start.
+//
+// With nothing zeroed every node reproduces its original end exactly, so
+// the baseline recompute equals the traced horizon; with a class zeroed the
+// result is an optimistic bound with all scheduling lags frozen at their
+// observed values.
+func (g *graph) whatIf(zero string) sim.Time {
+	n := len(g.ev)
+	if n == 0 {
+		return 0
+	}
+	in := make([][]int32, n)
+	for _, e := range g.edges {
+		in[e.to] = append(in[e.to], e.from)
+	}
+	// Implicit launch edges: an inner activity r that overlaps its owner i
+	// (a charge made during a span) starts only after whatever released the
+	// owner — without this, charges have no incoming edges at all and their
+	// frozen start times would pin every bound at the original horizon.
+	for i := 0; i < n; i++ {
+		var inner, launch []int32
+		for _, p := range in[i] {
+			if g.ev[p].End > g.ev[i].Start {
+				inner = append(inner, p)
+			} else {
+				launch = append(launch, p)
+			}
+		}
+		for _, r := range inner {
+			for _, p := range launch {
+				if p != r {
+					in[r] = append(in[r], p)
+				}
+			}
+		}
+	}
+	out := make([][]int32, n)
+	indeg := make([]int, n)
+	for to, ps := range in {
+		indeg[to] = len(ps)
+		for _, p := range ps {
+			out[p] = append(out[p], int32(to))
+		}
+	}
+	dur := func(i int32) sim.Time {
+		if g.class[i] == zero {
+			return 0
+		}
+		for _, p := range in[i] {
+			if g.ev[p].End > g.ev[i].Start {
+				return 0 // extent explained by overlapping activity
+			}
+		}
+		return g.ev[i].End - g.ev[i].Start
+	}
+	finish := make([]sim.Time, n)
+	done := make([]bool, n)
+	var end sim.Time
+	settle := func(i int32) {
+		ev := &g.ev[i]
+		var f sim.Time
+		if len(in[i]) == 0 {
+			f = ev.Start + dur(i)
+		} else {
+			di := dur(i)
+			var innerF, innerEnd sim.Time
+			hasInner := false
+			for _, from := range in[i] {
+				pf := finish[from]
+				if !done[from] {
+					// Unprocessed predecessor (cycle fallback): use its
+					// original end so the bound stays conservative.
+					pf = g.ev[from].End
+				}
+				if g.ev[from].End > ev.Start {
+					if pf > innerF {
+						innerF = pf
+					}
+					if g.ev[from].End > innerEnd {
+						innerEnd = g.ev[from].End
+					}
+					hasInner = true
+				} else if term := pf + (ev.Start - g.ev[from].End) + di; term > f {
+					f = term
+				}
+			}
+			if hasInner {
+				if term := innerF + (ev.End - innerEnd); term > f {
+					f = term
+				}
+			}
+		}
+		if f < 0 {
+			f = 0
+		}
+		finish[i] = f
+		done[i] = true
+		if f > end {
+			end = f
+		}
+	}
+	// Kahn's algorithm with a deterministic ready order.
+	h := &nodeHeap{g: g}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(h, int32(i))
+		}
+	}
+	processed := 0
+	for h.Len() > 0 {
+		i := heap.Pop(h).(int32)
+		settle(i)
+		processed++
+		for _, to := range out[i] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				heap.Push(h, to)
+			}
+		}
+	}
+	if processed < n {
+		// Cycle fallback (cannot arise from well-formed instrumentation):
+		// settle leftovers in deterministic time order.
+		rest := make([]int32, 0, n-processed)
+		for i := 0; i < n; i++ {
+			if !done[i] {
+				rest = append(rest, int32(i))
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool { return nodeLess(g, rest[a], rest[b]) })
+		for _, i := range rest {
+			settle(i)
+		}
+	}
+	return end
+}
+
+// nodeLess orders node ids by (End, Start, idx) ascending.
+func nodeLess(g *graph, a, b int32) bool {
+	ea, eb := &g.ev[a], &g.ev[b]
+	if ea.End != eb.End {
+		return ea.End < eb.End
+	}
+	if ea.Start != eb.Start {
+		return ea.Start < eb.Start
+	}
+	return a < b
+}
+
+// nodeHeap is a min-heap of node ids ordered by (End, Start, idx).
+type nodeHeap struct {
+	g   *graph
+	ids []int32
+}
+
+func (h *nodeHeap) Len() int           { return len(h.ids) }
+func (h *nodeHeap) Less(i, j int) bool { return nodeLess(h.g, h.ids[i], h.ids[j]) }
+func (h *nodeHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *nodeHeap) Push(x any)         { h.ids = append(h.ids, x.(int32)) }
+func (h *nodeHeap) Pop() any {
+	x := h.ids[len(h.ids)-1]
+	h.ids = h.ids[:len(h.ids)-1]
+	return x
+}

@@ -51,25 +51,35 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile reports an upper bound for the q-quantile (0 < q <= 1) from the
-// bucket counts: the bound of the bucket containing the q-th observation.
+// bucket counts: the bound of the bucket containing the q-th observation,
+// clamped to the observed maximum. The clamp matters in two places: the
+// bucket holding the largest observations usually has a bound above every
+// actual value, and the overflow bucket has no finite bound at all — naively
+// reporting 2^histBuckets there would understate a larger real observation
+// and overstate a run whose maximum lies just past the last tracked bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.Count == 0 {
 		return 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := int64(math.Ceil(q * float64(h.Count)))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
-	for i := 0; i <= histBuckets; i++ {
+	for i := 0; i < histBuckets; i++ {
 		seen += h.buckets[i]
 		if seen >= rank {
-			if b := float64(int64(1) << uint(i)); i < histBuckets && b < h.Max {
+			if b := float64(int64(1) << uint(i)); b < h.Max {
 				return b
 			}
 			return h.Max
 		}
 	}
+	// The q-th observation landed in the overflow bucket: the observed
+	// maximum is the only honest upper bound left.
 	return h.Max
 }
 

@@ -63,6 +63,52 @@ func TestHistogramEmptyAndOverflow(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileClamp: regression tests for the quantile clamping
+// rules — the reported bound never exceeds the observed maximum, overflow
+// observations report the maximum rather than a fictitious 2^histBuckets
+// bound, and out-of-range q values are clamped instead of running off the
+// bucket array.
+func TestHistogramQuantileClamp(t *testing.T) {
+	// Top-bucket clamp: a single observation of 3 lands in the bucket
+	// bounded by 4, but the quantile must not exceed the observed max.
+	var h Histogram
+	h.Observe(3)
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("single-value p50 = %v, want max 3", got)
+	}
+	// Mid-bucket bound stays a bound: p50 of {3, 1000} is the bucket bound
+	// 4 (an upper bound for the true median 3), not the max.
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %v, want bucket bound 4", got)
+	}
+	// Overflow clamp: every observation past 2^40 must report the observed
+	// max, never the next power-of-two bucket bound.
+	var o Histogram
+	o.Observe(float64(int64(1) << 50))
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := o.Quantile(q); got != float64(int64(1)<<50) {
+			t.Fatalf("overflow Quantile(%v) = %v, want 2^50", q, got)
+		}
+	}
+	// Mixed tracked + overflow: the high quantile crosses into overflow and
+	// clamps to the max.
+	o.Observe(2)
+	if got := o.Quantile(0.5); got != 2 {
+		t.Fatalf("mixed p50 = %v, want 2", got)
+	}
+	if got := o.Quantile(1); got != float64(int64(1)<<50) {
+		t.Fatalf("mixed p100 = %v, want 2^50", got)
+	}
+	// q out of range: clamped, not a panic or a rank past Count.
+	if got := o.Quantile(2); got != float64(int64(1)<<50) {
+		t.Fatalf("Quantile(2) = %v, want max", got)
+	}
+	if got := o.Quantile(-1); got != 2 {
+		t.Fatalf("Quantile(-1) = %v, want first bucket's clamped bound", got)
+	}
+}
+
 func TestEachGaugeAndMaxGauge(t *testing.T) {
 	m := NewMetrics()
 	m.Set("link.b.util", 0.5)

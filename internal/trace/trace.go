@@ -32,15 +32,18 @@ type Span struct {
 // of them. Not safe for host-level concurrency, which is fine: simulation
 // processes run one at a time.
 type Tracer struct {
-	bus  *Bus
-	open map[string]Span // keyed by lane; queues run one command at a time
+	bus   *Bus
+	open  map[string]Span // keyed by lane; queues run one command at a time
+	edges *edgeState
 }
 
 // New creates a tracer on a fresh bus.
 func New() *Tracer { return OnBus(NewBus()) }
 
 // OnBus creates a tracer recording onto an existing bus.
-func OnBus(b *Bus) *Tracer { return &Tracer{bus: b, open: make(map[string]Span)} }
+func OnBus(b *Bus) *Tracer {
+	return &Tracer{bus: b, open: make(map[string]Span), edges: newEdgeState()}
+}
 
 // Bus returns the underlying event bus.
 func (t *Tracer) Bus() *Bus { return t.bus }
@@ -88,6 +91,81 @@ func (o *queueObserver) CommandFinished(_ *cl.CommandQueue, label string, at sim
 	m.Add("cl.commands", 1)
 	m.Add(fmt.Sprintf("cl.cmd.%c", glyphOrOther(label)), 1)
 }
+
+// CommandCompleted implements cl.CausalObserver: it runs right after
+// CommandFinished recorded the command's span (and before the command's
+// event fires any dependents) and attaches the span's causal edges —
+// in-order queue serialization, wait-list dependencies, resource charges
+// made by the worker, and transfer pipelines the command ran.
+func (o *queueObserver) CommandCompleted(q *cl.CommandQueue, ev *cl.Event, waits []*cl.Event, proc string) {
+	es := o.t.edges
+	b := o.t.bus
+	id := EventID(len(b.events) - 1) // the span CommandFinished just recorded
+	es.evmap[ev] = id
+	if dep, ok := es.enqDep[ev]; ok {
+		delete(es.enqDep, ev)
+		b.Edge(EdgeHost, dep, id)
+	}
+	if q != nil {
+		// In-order queues serialize commands; out-of-order queues (nil q)
+		// order only through wait lists and barriers.
+		if prev, ok := es.lastCmdByLane[o.lane]; ok {
+			b.Edge(EdgeQueue, prev, id)
+		}
+		es.lastCmdByLane[o.lane] = id
+	}
+	es.lastCmdByProc[proc] = id
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		wid, ok := es.evmap[w]
+		if !ok {
+			// External dependency (user event, bridged MPI request): give
+			// it a completion instant so the edge has a graph node.
+			wid = b.Instant(LayerCL, o.lane, "ev "+w.Label(), w.FinishedAt)
+			es.evmap[w] = wid
+		}
+		b.Edge(EdgeWait, wid, id)
+	}
+	for _, cid := range es.drainCharges(proc) {
+		b.Edge(EdgeCharge, cid, id)
+	}
+	for _, xid := range es.pendingPipe {
+		b.Edge(EdgePipe, xid, id)
+	}
+	es.pendingPipe = es.pendingPipe[:0]
+}
+
+// InstrumentContext installs the tracer as the context's host observer, so
+// host program order (which process enqueued each command, and after which
+// observed completion) is recorded as EdgeHost edges. Without it, command
+// chains serialized only by the application thread — Fig. 6's "enqueue
+// everything, clFinish once" pattern — appear causally disconnected.
+func (t *Tracer) InstrumentContext(c *cl.Context) { c.SetHostObserver(t) }
+
+// CommandEnqueued implements cl.HostObserver: remember, for the command's
+// eventual span, the last completion its enqueuing process observed.
+func (t *Tracer) CommandEnqueued(proc string, ev *cl.Event) {
+	if dep, ok := t.edges.lastHostNode[proc]; ok {
+		t.edges.enqDep[ev] = dep
+	}
+}
+
+// WaitReturned implements cl.HostObserver: a process that returns from
+// Event.Wait has observed that event's completion; subsequent commands it
+// enqueues are in host program order after it.
+func (t *Tracer) WaitReturned(proc string, ev *cl.Event) {
+	if id, ok := t.edges.evmap[ev]; ok {
+		t.edges.lastHostNode[proc] = id
+	}
+}
+
+// CommandGlyph exposes the command-label classification ('K' kernel,
+// 'S' clmpi-send, 'R' clmpi-recv, 'D' device copy, 'P' pack/unpack,
+// 0 marker, 'o' other) for analyzers outside the package, such as the
+// critical-path engine's resource-class mapping.
+func CommandGlyph(label string) byte { return classify(label) }
 
 // glyphOrOther is classify with the invisible marker folded into 'o', for
 // metric names.

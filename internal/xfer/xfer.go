@@ -52,10 +52,15 @@ func Windows(chunks []int64, offset int64) []Window {
 }
 
 // Span reports one executed stage hop: stage Stage of pipeline Lane
-// processed Bytes over [Start, End) of virtual time.
+// processed Bytes over [Start, End) of virtual time. Seq is the window's
+// index in transfer order (-1 for the one-time setup hop) and Proc names
+// the simulation process that executed the hop; dependency-graph builders
+// use the pair to chain stage handoffs and attribute resource charges.
 type Span struct {
 	Lane  string // the pipeline's Label
 	Stage string // the stage's Name
+	Seq   int    // window index, -1 for setup
+	Proc  string // executing process name
 	Start sim.Time
 	End   sim.Time
 	Bytes int64
@@ -99,8 +104,8 @@ type Pipeline struct {
 	err error // first helper-stage failure, reported by Run
 }
 
-// run executes stage s for one window on p and reports the span.
-func (pl *Pipeline) run(p *sim.Proc, s *Stage, w Window) error {
+// run executes stage s for window index wi on p and reports the span.
+func (pl *Pipeline) run(p *sim.Proc, s *Stage, w Window, wi int) error {
 	start := p.Now()
 	var err error
 	bytes := w.N
@@ -111,7 +116,7 @@ func (pl *Pipeline) run(p *sim.Proc, s *Stage, w Window) error {
 		bytes = 0 // fixed-cost hop, no payload
 	}
 	if pl.Observer != nil {
-		pl.Observer(Span{Lane: pl.Label, Stage: s.Name, Start: start, End: p.Now(), Bytes: bytes})
+		pl.Observer(Span{Lane: pl.Label, Stage: s.Name, Seq: wi, Proc: p.Name(), Start: start, End: p.Now(), Bytes: bytes})
 	}
 	return err
 }
@@ -128,13 +133,13 @@ func Run(wp *sim.Proc, pl *Pipeline) error {
 		start := wp.Now()
 		wp.Sleep(pl.Setup)
 		if pl.Observer != nil {
-			pl.Observer(Span{Lane: pl.Label, Stage: "setup", Start: start, End: wp.Now()})
+			pl.Observer(Span{Lane: pl.Label, Stage: "setup", Seq: -1, Proc: wp.Name(), Start: start, End: wp.Now()})
 		}
 	}
 	if pl.Ring == nil || len(pl.Stages) == 1 {
-		for _, w := range pl.Wins {
+		for wi, w := range pl.Wins {
 			for i := range pl.Stages {
-				if err := pl.run(wp, &pl.Stages[i], w); err != nil {
+				if err := pl.run(wp, &pl.Stages[i], w, wi); err != nil {
 					return err
 				}
 			}
@@ -194,7 +199,7 @@ func (pl *Pipeline) runOverlapped(wp *sim.Proc) error {
 // the chain still drains deterministically.
 func (pl *Pipeline) stageLoop(p *sim.Proc, i int, qs []*sim.Queue[Window], done *sim.WaitGroup) error {
 	last := i == len(pl.Stages)-1
-	for _, win := range pl.Wins {
+	for wi, win := range pl.Wins {
 		w := win
 		if i == 0 {
 			pl.Ring.Acquire(p, 1)
@@ -202,7 +207,7 @@ func (pl *Pipeline) stageLoop(p *sim.Proc, i int, qs []*sim.Queue[Window], done 
 			w, _ = qs[i-1].Get(p)
 		}
 		if pl.err == nil {
-			if err := pl.run(p, &pl.Stages[i], w); err != nil {
+			if err := pl.run(p, &pl.Stages[i], w, wi); err != nil {
 				pl.err = err
 				if i == pl.Driver {
 					return err
