@@ -9,7 +9,12 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +25,7 @@ import (
 	"repro/internal/himeno"
 	"repro/internal/mpi"
 	"repro/internal/nanopowder"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -419,6 +425,89 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 	if serial > 0 && parallel > 0 {
 		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 	}
+}
+
+// --- Simulation-as-a-service (internal/serve) --------------------------------
+
+// serveBurst fires one burst of concurrent jobs at a running service over
+// HTTP (?wait=1, so a request's latency is the job's completion latency) and
+// fails the benchmark on any non-done outcome. Job j of a burst is a
+// distinct one-point p2p sweep, so a cold burst is all cache misses and a
+// repeat of the same burst is all hits.
+func serveBurst(b *testing.B, ts *httptest.Server, jobs int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	errc := make(chan error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"system":"cichlid","strategies":["pinned"],"sizes":[%d]}`, 64<<10+j*1024)
+			resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			var st serve.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK || st.Status != serve.StatusDone {
+				errc <- fmt.Errorf("job ended %q (http %d): %s", st.Status, resp.StatusCode, st.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServe is the service's load-test baseline (BENCH_serve.json; the
+// standalone twin is cmd/clmpi-loadgen against cmd/clmpi-serve): 1000
+// concurrent jobs per op through the full HTTP path. cold measures
+// simulate-and-cache throughput on a fresh daemon; warm repeats an identical
+// burst, so every job is a content-address hit and the number is pure
+// service overhead — the regime a popular what-if service converges to.
+func BenchmarkServe(b *testing.B) {
+	const burst = 1000
+	newServer := func(b *testing.B) (*serve.Manager, *httptest.Server) {
+		b.Helper()
+		mgr, err := serve.NewManager(serve.Options{CacheEntries: 2 * burst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mgr, httptest.NewServer(serve.NewServer(mgr))
+	}
+	b.Run(fmt.Sprintf("burst=%d/cold", burst), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			_, ts := newServer(b)
+			b.StartTimer()
+			serveBurst(b, ts, burst)
+			b.StopTimer()
+			ts.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(burst*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+	b.Run(fmt.Sprintf("burst=%d/warm", burst), func(b *testing.B) {
+		mgr, ts := newServer(b)
+		defer ts.Close()
+		serveBurst(b, ts, burst) // prefill the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveBurst(b, ts, burst)
+		}
+		b.StopTimer()
+		if hits := mgr.Counter("serve.cache.hits"); hits < float64(burst*b.N) {
+			b.Fatalf("warm burst missed the cache: %v hits, want >= %d", hits, burst*b.N)
+		}
+		b.ReportMetric(float64(burst*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
 }
 
 // --- Future-work features (§VI) ---------------------------------------------

@@ -1,13 +1,19 @@
 // Command clmpi-benchdiff compares a `go test -bench` run against one of the
 // repository's checked-in BENCH_*.json baselines and prints a benchstat-style
-// regression note. CI runs it on the benchmark-smoke output; by default it
-// only reports (single-shot CI numbers are noisy), with -gate it exits
-// non-zero when a cell slows down by more than -flag percent.
+// regression note. Baselines carry a "diff" spec (bench regex, package,
+// benchtime, trim), so CI loops over every baseline with the same generic
+// invocation; -run regenerates the measurement from that spec instead of
+// reading pre-captured output.
+//
+// Two thresholds with different jobs: -flag marks cells in the note (noisy
+// single-shot numbers deserve eyeballs, not build failures), while
+// -max-regress is the gate — any cell slower than that multiple of its
+// baseline ns/op exits non-zero and fails the build.
 //
 // Usage:
 //
 //	go test -bench MPIMatching -run '^$' ./internal/mpi/ | clmpi-benchdiff -baseline BENCH_mpi.json
-//	clmpi-benchdiff -baseline BENCH_mpi.json -bench bench-mpi.txt -trim BenchmarkMPIMatching/ -flag 50 -gate
+//	clmpi-benchdiff -baseline BENCH_serve.json -run -out bench-serve.txt -max-regress 2
 package main
 
 import (
@@ -15,47 +21,96 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	baseline := flag.String("baseline", "BENCH_mpi.json", "checked-in baseline JSON to compare against")
-	benchFile := flag.String("bench", "-", "go test -bench output file ('-' = stdin)")
-	trim := flag.String("trim", "BenchmarkMPIMatching/", "prefix removed from measured names before grid lookup")
+	benchFile := flag.String("bench", "-", "go test -bench output file ('-' = stdin); ignored with -run")
+	run := flag.Bool("run", false, "regenerate the measurement with `go test` per the baseline's diff spec")
+	out := flag.String("out", "", "with -run, also write the raw go test output to this file")
+	trim := flag.String("trim", "", "prefix removed from measured names before grid lookup (default: the baseline's diff.trim)")
 	flagPct := flag.Float64("flag", 50, "mark cells that slowed down by more than this percentage (0 disables)")
-	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked")
+	maxRegress := flag.Float64("max-regress", 0, "exit non-zero when any cell's ns/op exceeds this multiple of its baseline (e.g. 2 = fail on a >2x regression; 0 disables)")
+	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked by -flag")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseline)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	var out []byte
-	if *benchFile == "-" {
-		out, err = io.ReadAll(os.Stdin)
+	if *trim == "" && base.Diff != nil {
+		*trim = base.Diff.Trim
+	}
+
+	var text string
+	if *run {
+		text, err = runBench(base, *baseline, *out)
 	} else {
-		out, err = os.ReadFile(*benchFile)
+		text, err = readBench(*benchFile)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	cells := bench.ParseGoBench(string(out))
+	cells := bench.ParseGoBench(text)
 	if len(cells) == 0 {
-		fmt.Fprintf(os.Stderr, "clmpi-benchdiff: no benchmark lines in input\n")
-		os.Exit(2)
+		fatal(fmt.Errorf("no benchmark lines in input"))
 	}
 	deltas, unmatched, missing := bench.DiffBench(base, cells, *trim)
 	note, flagged := bench.FormatBenchDiff(deltas, unmatched, missing, *flagPct)
 	fmt.Printf("benchdiff vs %s (base commit %s):\n%s", *baseline, base.CommitBase, note)
+
+	exceeded := bench.RegressionsBeyond(deltas, *maxRegress)
+	for _, d := range exceeded {
+		fmt.Printf("GATE: %s is %.1fx its baseline (%.0f -> %.0f ns/op), over the %.1fx limit\n",
+			d.Name, d.Current/d.Base, d.Base, d.Current, *maxRegress)
+	}
 	if flagged > 0 {
 		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", flagged, *flagPct)
-		if *gate {
-			os.Exit(1)
+	}
+	if len(exceeded) > 0 || (*gate && flagged > 0) {
+		os.Exit(1)
+	}
+}
+
+// runBench executes the baseline's diff spec and returns (and optionally
+// tees) the go test output.
+func runBench(base *bench.BenchBaseline, path, out string) (string, error) {
+	spec := base.Diff
+	if spec == nil {
+		return "", fmt.Errorf("%s has no diff spec; pass the bench output explicitly", path)
+	}
+	args := []string{"test", "-run", "^$", "-bench", spec.BenchRegex, "-benchmem"}
+	if spec.BenchTime != "" {
+		args = append(args, "-benchtime", spec.BenchTime)
+	}
+	args = append(args, spec.Package)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if out != "" {
+		if werr := os.WriteFile(out, raw, 0o644); werr != nil && err == nil {
+			err = werr
 		}
 	}
+	if err != nil {
+		return "", fmt.Errorf("go %v: %w\n%s", args, err, raw)
+	}
+	return string(raw), nil
+}
+
+// readBench loads pre-captured bench output from a file or stdin.
+func readBench(path string) (string, error) {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	return string(raw), err
 }
 
 func loadBaseline(path string) (*bench.BenchBaseline, error) {
@@ -64,4 +119,9 @@ func loadBaseline(path string) (*bench.BenchBaseline, error) {
 		return nil, err
 	}
 	return bench.LoadBenchBaseline(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clmpi-benchdiff: %v\n", err)
+	os.Exit(2)
 }

@@ -1,0 +1,223 @@
+// Command clmpi-loadgen load-tests a running clmpi-serve daemon: it fires
+// bursts of concurrent sweep jobs, measures completion latency and
+// throughput, verifies that every burst after the first returns
+// byte-identical results served from the content-addressed cache, and writes
+// a JSON summary (the serve-smoke CI artifact; BENCH_serve.json's grid is
+// the in-process BenchmarkServe twin of this measurement).
+//
+// Usage:
+//
+//	clmpi-serve -addr 127.0.0.1:8177 &
+//	clmpi-loadgen -addr 127.0.0.1:8177 -jobs 1000 -bursts 2 -expect-cached -out serve-load.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8177", "clmpi-serve address")
+	jobs := flag.Int("jobs", 1000, "jobs per burst")
+	concurrency := flag.Int("concurrency", 0, "in-flight request cap (0 = all jobs at once)")
+	bursts := flag.Int("bursts", 2, "number of identical bursts (burst 2+ should be pure cache hits)")
+	system := flag.String("system", "cichlid", "system preset submitted with every job")
+	spread := flag.Int("spread", 0, "number of distinct job configs per burst (0 = every job distinct)")
+	sizeBase := flag.Int64("size-base", 64<<10, "base p2p message size in bytes")
+	expectCached := flag.Bool("expect-cached", false, "exit non-zero unless bursts after the first are fully served from cache")
+	out := flag.String("out", "", "write the JSON summary to this file (also printed)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := "http://" + *addr
+	if _, err := client.Get(base + "/healthz"); err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-loadgen: daemon not reachable: %v\n", err)
+		os.Exit(1)
+	}
+
+	summary := Summary{Addr: *addr, Jobs: *jobs, Bursts: *bursts}
+	// resultSums[i] is the digest of job i's result from the first burst;
+	// later bursts must reproduce it byte for byte.
+	resultSums := make([][32]byte, *jobs)
+	ok := true
+	for b := 0; b < *bursts; b++ {
+		hitsBefore := cacheHits(client, base)
+		bs, sums := runBurst(client, base, *jobs, *concurrency, *system, *spread, *sizeBase)
+		bs.CacheHits = cacheHits(client, base) - hitsBefore
+		for i, sum := range sums {
+			if b == 0 {
+				resultSums[i] = sum
+			} else if sum != resultSums[i] {
+				bs.Mismatches++
+			}
+		}
+		summary.Results = append(summary.Results, bs)
+		if bs.Errors > 0 || bs.Mismatches > 0 {
+			ok = false
+		}
+		if b > 0 && *expectCached && bs.CacheHits < float64(*jobs) {
+			fmt.Fprintf(os.Stderr, "clmpi-loadgen: burst %d: only %.0f/%d jobs served from cache\n", b+1, bs.CacheHits, *jobs)
+			ok = false
+		}
+	}
+
+	data, _ := json.MarshalIndent(summary, "", "  ")
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !ok {
+		os.Exit(2)
+	}
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Addr    string  `json:"addr"`
+	Jobs    int     `json:"jobs_per_burst"`
+	Bursts  int     `json:"bursts"`
+	Results []Burst `json:"results"`
+}
+
+// Burst aggregates one burst's outcome.
+type Burst struct {
+	Errors     int     `json:"errors"`
+	Mismatches int     `json:"result_mismatches"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_s"`
+	P50ms      float64 `json:"p50_ms"`
+	P90ms      float64 `json:"p90_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	CacheHits  float64 `json:"cache_hits"`
+}
+
+// jobBody builds job i's submission. With spread > 0 configurations repeat
+// every spread jobs (so one burst already exercises the cache); with
+// spread 0 every job in a burst is a distinct configuration.
+func jobBody(i, spread int, system string, sizeBase int64) []byte {
+	k := i
+	if spread > 0 {
+		k = i % spread
+	}
+	size := sizeBase + int64(k)*1024
+	return fmt.Appendf(nil, `{"system":%q,"workload":"p2p","strategies":["pinned"],"sizes":[%d]}`, system, size)
+}
+
+// runBurst submits the burst's jobs concurrently and collects latency and
+// result digests (zero digest on error).
+func runBurst(client *http.Client, base string, jobs, concurrency int, system string, spread int, sizeBase int64) (Burst, [][32]byte) {
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, jobs)
+		errs      int
+	)
+	sums := make([][32]byte, jobs)
+	sem := make(chan struct{}, max(concurrency, 1))
+	useSem := concurrency > 0
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if useSem {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			t0 := time.Now()
+			raw, err := submitAndWait(client, base, jobBody(i, spread, system, sizeBase))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			sums[i] = sha256.Sum256(raw)
+			latencies = append(latencies, lat)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	bs := Burst{
+		Errors:  errs,
+		Seconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		bs.JobsPerSec = float64(jobs-errs) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	bs.P50ms = quantileMs(latencies, 0.50)
+	bs.P90ms = quantileMs(latencies, 0.90)
+	bs.P99ms = quantileMs(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		bs.MaxMs = float64(latencies[n-1]) / 1e6
+	}
+	return bs, sums
+}
+
+// submitAndWait posts one job with ?wait=1 and returns the raw result field.
+func submitAndWait(client *http.Client, base string, body []byte) (json.RawMessage, error) {
+	resp, err := client.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Status string          `json:"status"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK || status.Status != "done" {
+		return nil, fmt.Errorf("job ended %q (http %d): %s", status.Status, resp.StatusCode, status.Error)
+	}
+	return status.Result, nil
+}
+
+// quantileMs reads the q-quantile from sorted latencies, in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / 1e6
+}
+
+// cacheHits scrapes the serve.cache.hits counter from /metricz.
+func cacheHits(client *http.Client, base string) float64 {
+	resp, err := client.Get(base + "/metricz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 3 && fields[0] == "counter" && fields[1] == "serve.cache.hits" {
+			v, _ := strconv.ParseFloat(fields[2], 64)
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+// Command clmpi-serve runs the simulation-as-a-service daemon: an HTTP/JSON
+// server that accepts (system, workload, parameter-grid) sweep jobs, shards
+// their points across a bounded worker pool, streams per-point progress, and
+// content-addresses finished results so a repeated what-if question is a
+// cache hit instead of a re-simulation.
+//
+// Usage:
+//
+//	clmpi-serve -addr 127.0.0.1:8177
+//	curl -s -X POST localhost:8177/v1/jobs?wait=1 -d '{"system":"cichlid"}'
+//	clmpi-serve -addr :8177 -workers 8 -cache-entries 4096 -cache-dir /var/cache/clmpi
+//
+// See the README's "Running the sweep server" walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8177", "listen address")
+	workers := flag.Int("workers", 0, "worker pool width shared by all jobs (0 = all host cores)")
+	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity (entries)")
+	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives eviction and restarts)")
+	flag.Parse()
+
+	mgr, err := serve.NewManager(serve.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-serve: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "clmpi-serve: listening on %s (workers=%d)\n", *addr, mgr.Workers())
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "clmpi-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "clmpi-serve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

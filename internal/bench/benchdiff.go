@@ -23,10 +23,27 @@ type BenchCell struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// DiffSpec makes a baseline self-describing: it records how to regenerate
+// the measurement the grid snapshots, so CI can loop over every BENCH_*.json
+// with one generic step instead of a hand-maintained list of bench commands.
+type DiffSpec struct {
+	// BenchRegex is the -bench selector.
+	BenchRegex string `json:"bench_regex"`
+	// Package is the go test package pattern ("." for the repo root).
+	Package string `json:"package"`
+	// BenchTime is the -benchtime value (e.g. "20x"); empty uses the go
+	// test default.
+	BenchTime string `json:"benchtime,omitempty"`
+	// Trim is removed from the front of measured benchmark names before
+	// grid lookup (e.g. "BenchmarkMPIMatching/").
+	Trim string `json:"trim,omitempty"`
+}
+
 // BenchBaseline mirrors the BENCH_*.json files at the repository root.
 type BenchBaseline struct {
 	Description string               `json:"description"`
 	CommitBase  string               `json:"commit_base"`
+	Diff        *DiffSpec            `json:"diff,omitempty"`
 	Grid        map[string]BenchCell `json:"grid"`
 }
 
@@ -105,6 +122,24 @@ func DiffBench(base *BenchBaseline, cells map[string]BenchCell, trim string) (de
 	sort.Strings(unmatched)
 	sort.Strings(missing)
 	return deltas, unmatched, missing
+}
+
+// RegressionsBeyond returns the cells whose measured ns/op exceeds factor
+// times the baseline (e.g. factor 2 = a >2x slowdown), in name order. This
+// is the gate threshold: wide enough that single-shot CI noise passes, tight
+// enough that a real algorithmic regression fails the build. Cells with no
+// baseline ns/op are never returned.
+func RegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
+	if factor <= 0 {
+		return nil
+	}
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.Base > 0 && d.Current > factor*d.Base {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // FormatBenchDiff renders the comparison as an aligned regression note.

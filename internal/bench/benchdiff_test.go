@@ -2,6 +2,7 @@ package bench
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +76,65 @@ func TestDiffBenchAgainstCheckedInBaseline(t *testing.T) {
 	}
 	if _, relaxed := FormatBenchDiff(deltas, nil, nil, 50); relaxed != 0 {
 		t.Fatalf("relaxed threshold still flags %d", relaxed)
+	}
+}
+
+func TestRegressionsBeyond(t *testing.T) {
+	deltas := []BenchDelta{
+		{Name: "fast", Base: 100, Current: 150},  // 1.5x: under the gate
+		{Name: "slow", Base: 100, Current: 250},  // 2.5x: over
+		{Name: "worse", Base: 100, Current: 900}, // 9x: over
+		{Name: "new", Base: 0, Current: 1e6},     // no baseline: never gated
+		{Name: "better", Base: 100, Current: 40}, // improvement
+	}
+	got := RegressionsBeyond(deltas, 2)
+	if len(got) != 2 || got[0].Name != "slow" || got[1].Name != "worse" {
+		t.Fatalf("RegressionsBeyond(2) = %+v", got)
+	}
+	if out := RegressionsBeyond(deltas, 0); out != nil {
+		t.Fatalf("factor 0 must disable the gate, got %+v", out)
+	}
+	if out := RegressionsBeyond(deltas, 10); out != nil {
+		t.Fatalf("factor 10 should pass everything, got %+v", out)
+	}
+}
+
+// TestRepoBaselinesAreDiffable pins the contract the CI bench loop relies on:
+// every checked-in BENCH_*.json parses, has a populated grid with positive
+// ns/op cells, and carries the self-describing diff spec that lets
+// `clmpi-benchdiff -run` regenerate its measurement.
+func TestRepoBaselinesAreDiffable(t *testing.T) {
+	paths, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("found only %d BENCH_*.json baselines: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		name := filepath.Base(p)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := LoadBenchBaseline(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if base.Diff == nil {
+			t.Errorf("%s: no diff spec; the CI baseline loop cannot regenerate it", name)
+			continue
+		}
+		if base.Diff.BenchRegex == "" || base.Diff.Package == "" {
+			t.Errorf("%s: diff spec incomplete: %+v", name, base.Diff)
+		}
+		for cell, v := range base.Grid {
+			if v.NsPerOp <= 0 {
+				t.Errorf("%s: grid cell %q has ns_per_op %v", name, cell, v.NsPerOp)
+			}
+			if base.Diff.Trim != "" && strings.HasPrefix(cell, base.Diff.Trim) {
+				t.Errorf("%s: grid cell %q still carries the trim prefix %q", name, cell, base.Diff.Trim)
+			}
+		}
 	}
 }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheEviction: the LRU evicts the least recently *used* entry, with
+// Get counting as a use and Peek not.
+func TestCacheEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(k string) { t.Helper(); c.Put(k, []byte(k)) }
+	has := func(k string) bool { _, ok := c.Peek(k); return ok }
+
+	put("a")
+	put("b")
+	put("c") // evicts a
+	if has("a") || !has("b") || !has("c") {
+		t.Fatalf("after a,b,c: a=%v b=%v c=%v", has("a"), has("b"), has("c"))
+	}
+	if _, ok := c.Get("b"); !ok { // promote b
+		t.Fatal("b missing")
+	}
+	put("d") // evicts c, not the freshly used b
+	if has("c") || !has("b") || !has("d") {
+		t.Fatalf("after promote+d: b=%v c=%v d=%v", has("b"), has("c"), has("d"))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Peek must not promote: peek b's sibling then evict.
+	c.Peek("b")
+	put("e") // evicts b (d was used more recently than... b was promoted by Get earlier)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+// TestCacheDisk: the directory layer survives both eviction and "restart"
+// (a fresh Cache over the same directory).
+func TestCacheDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k1", []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k2", []byte("r2")); err != nil { // evicts k1 from memory
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek("k1"); ok {
+		t.Fatal("k1 still memory-resident at capacity 1")
+	}
+	// Get falls back to disk and re-promotes.
+	data, ok := c.Get("k1")
+	if !ok || !bytes.Equal(data, []byte("r1")) {
+		t.Fatalf("disk fallback: %q ok=%v", data, ok)
+	}
+	// A fresh cache over the same directory serves persisted results.
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok = c2.Get("k2")
+	if !ok || !bytes.Equal(data, []byte("r2")) {
+		t.Fatalf("restart fallback: %q ok=%v", data, ok)
+	}
+	// No stray temp files left behind.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("temp files left: %v", tmp)
+	}
+	// Files are the raw result bytes.
+	raw, err := os.ReadFile(filepath.Join(dir, "k1.json"))
+	if err != nil || !bytes.Equal(raw, []byte("r1")) {
+		t.Fatalf("disk file: %q err=%v", raw, err)
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServedMatchesInProcess is the service's determinism gate, on both
+// preset systems: the result document a daemon serves over HTTP must be
+// byte-identical to what RunJob computes in-process (same canonical spec,
+// same sweep machinery, same encoder), and a repeat submission must be
+// served from the cache — observable via the cache-hit counter — with, once
+// more, identical bytes. This is the property the content-addressed cache
+// rests on.
+func TestServedMatchesInProcess(t *testing.T) {
+	for _, system := range []string{"cichlid", "ricc"} {
+		t.Run(system, func(t *testing.T) {
+			spec := JobSpec{
+				System:     system,
+				Strategies: []string{"pinned", "pipelined(1)"},
+				Sizes:      []int64{64 << 10, 1 << 20},
+			}
+			_, wantHash, want, err := RunJob(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			m, ts := testServer(t, Options{Workers: 3})
+			body, _ := json.Marshal(spec)
+			st := postJob(t, ts, string(body))
+			if st.Hash != wantHash {
+				t.Fatalf("served hash %s, in-process %s", st.Hash, wantHash)
+			}
+			resp, err := http.Get(ts.URL + "/v1/results/" + st.Hash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("served result differs from in-process run:\nserved:\n%s\nin-process:\n%s", got, want)
+			}
+
+			// Second identical submission: cache hit, identical bytes.
+			hitsBefore := m.Counter("serve.cache.hits")
+			st2 := postJob(t, ts, string(body))
+			if !st2.Cached {
+				t.Fatal("second submission not served from cache")
+			}
+			if got := m.Counter("serve.cache.hits"); got != hitsBefore+1 {
+				t.Fatalf("serve.cache.hits = %v, want %v", got, hitsBefore+1)
+			}
+			resp, err = http.Get(ts.URL + "/v1/results/" + st2.Hash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !bytes.Equal(got2, want) {
+				t.Fatal("cached result differs from in-process run")
+			}
+		})
+	}
+}
+
+// TestServedMatchesInProcessHimeno repeats the gate on the himeno workload
+// (GFLOPS per implementation × node count) at the smallest problem size.
+func TestServedMatchesInProcessHimeno(t *testing.T) {
+	spec := JobSpec{
+		System:   "cichlid",
+		Workload: "himeno",
+		Impls:    []string{"clmpi"},
+		Nodes:    []int{1, 2},
+		Iters:    1,
+	}
+	_, wantHash, want, err := RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Options{Workers: 2})
+	body, _ := json.Marshal(spec)
+	st := postJob(t, ts, string(body))
+	if st.Hash != wantHash {
+		t.Fatalf("served hash %s, in-process %s", st.Hash, wantHash)
+	}
+	resp, err := http.Get(ts.URL + "/v1/results/" + st.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served himeno result differs from in-process run:\n%s", got)
+	}
+	var res Result
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].GFLOPS <= 0 || res.Points[0].Impl != "clMPI" {
+		t.Fatalf("himeno points: %+v", res.Points)
+	}
+	if !strings.Contains(string(got), `"gflops"`) {
+		t.Fatalf("himeno result missing gflops field:\n%s", got)
+	}
+}

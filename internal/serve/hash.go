@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash digests a normalized spec into its content address: the SHA-256 of
+// the spec's canonical JSON encoding. json.Marshal of a struct emits fields
+// in declaration order with no insignificant whitespace, so the digest is
+// independent of how the submitting client ordered or formatted its JSON —
+// Decode's Unmarshal absorbed that — while Normalize has already absorbed
+// the semantic aliases (system case, strategy spellings, defaulted grids).
+// Two submissions hash equal exactly when their simulated results are
+// guaranteed byte-identical.
+//
+// Call with a Normalize output only; hashing a raw spec would let "cichlid"
+// and "Cichlid" content-address different cache entries.
+func Hash(norm JobSpec) string {
+	data, err := json.Marshal(norm)
+	if err != nil {
+		// JobSpec contains only strings, ints, and slices thereof;
+		// Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Decode parses a JSON job submission strictly (unknown fields are an
+// error — a misspelled grid field silently meaning "use the default" would
+// poison the content address) and returns the normalized spec and its hash.
+func Decode(body []byte) (JobSpec, string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, "", fmt.Errorf("serve: decode job: %w", err)
+	}
+	norm, err := Normalize(spec)
+	if err != nil {
+		return JobSpec{}, "", err
+	}
+	return norm, Hash(norm), nil
+}

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// ErrCanceled is the error a canceled job's pending points report; a job
+// that stops because of it finishes in StatusCanceled rather than
+// StatusFailed.
+var ErrCanceled = errors.New("serve: job canceled")
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusRunning jobs have a runner goroutine sharding points into the
+	// worker pool (the points themselves may still be queued for a slot).
+	StatusRunning Status = "running"
+	// StatusDone jobs have a result (freshly computed or from cache).
+	StatusDone Status = "done"
+	// StatusFailed jobs hit a simulation or validation error.
+	StatusFailed Status = "failed"
+	// StatusCanceled jobs were canceled before all points finished.
+	StatusCanceled Status = "canceled"
+)
+
+// Options configure a Manager.
+type Options struct {
+	// Workers bounds how many simulation points run concurrently across
+	// all jobs (default sweep.Workers(), i.e. the host's cores).
+	Workers int
+	// CacheEntries is the in-memory result cache capacity (default 1024).
+	CacheEntries int
+	// CacheDir, when non-empty, persists results to disk so they survive
+	// eviction and restarts.
+	CacheDir string
+}
+
+// PointEvent is one per-point progress notification: points complete in
+// claim order under the pool, so indexes arrive unordered; Index places the
+// point in the grid.
+type PointEvent struct {
+	Index int         `json:"index"`
+	Point PointResult `json:"point"`
+}
+
+// Job is one submitted sweep. Identity fields are immutable after Submit;
+// progress and outcome are read through snapshot methods.
+type Job struct {
+	ID      string
+	Hash    string
+	Spec    JobSpec // normalized
+	NPoints int
+	Cached  bool // result came from the cache, no simulation ran
+
+	mu        sync.Mutex
+	status    Status
+	err       error
+	result    []byte
+	completed int
+	events    []PointEvent
+	subs      []chan PointEvent
+	done      chan struct{}
+	cancel    context.CancelFunc
+	started   time.Time
+	finished  time.Time
+}
+
+// Manager owns the worker pool, the job table, the result cache, and the
+// service's observability surface (a metrics registry and a trace bus of
+// per-job spans in wall time since start).
+type Manager struct {
+	opts  Options
+	cache *Cache
+	met   *metrics
+	sem   chan struct{}
+	start time.Time
+
+	busMu sync.Mutex
+	bus   *trace.Bus
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   int
+
+	// runPoint is the point runner — RunPoint in production, overridden
+	// by tests that need controllable point timing.
+	runPoint func(JobSpec, int) (PointResult, error)
+
+	// live pool accounting behind the queue/inflight gauges.
+	gaugeMu sync.Mutex
+	queued  int // points waiting for a pool slot
+	running int // points simulating right now
+	active  int // jobs in StatusRunning
+}
+
+// NewManager creates a manager and its cache.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = sweep.Workers()
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 1024
+	}
+	cache, err := NewCache(opts.CacheEntries, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		opts:     opts,
+		cache:    cache,
+		met:      newMetrics(),
+		sem:      make(chan struct{}, opts.Workers),
+		start:    time.Now(),
+		bus:      trace.NewBus(),
+		jobs:     make(map[string]*Job),
+		runPoint: RunPoint,
+	}, nil
+}
+
+// Workers reports the pool width.
+func (m *Manager) Workers() int { return m.opts.Workers }
+
+// Submit normalizes and registers a job. A content-address hit completes the
+// job immediately from the cache (Cached=true, no simulation); a miss starts
+// a runner goroutine that shards the grid into the pool. The returned job is
+// safe to poll, subscribe to, wait on, and cancel.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	norm, err := Normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	hash := Hash(norm)
+	m.met.add("serve.jobs.submitted", 1)
+
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("j%d", m.seq)
+	m.mu.Unlock()
+	job := &Job{
+		ID:      id,
+		Hash:    hash,
+		Spec:    norm,
+		NPoints: norm.NumPoints(),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+
+	if data, ok := m.cache.Get(hash); ok {
+		m.met.add("serve.cache.hits", 1)
+		m.updateCacheGauges()
+		job.Cached = true
+		job.status = StatusDone
+		job.result = data
+		job.completed = job.NPoints
+		job.finished = time.Now()
+		close(job.done)
+		m.met.add("serve.jobs.completed", 1)
+		m.span(job)
+	} else {
+		m.met.add("serve.cache.misses", 1)
+		m.updateCacheGauges()
+		ctx, cancel := context.WithCancel(context.Background())
+		job.cancel = cancel
+		job.status = StatusRunning
+		m.adjustGauges(0, 0, +1)
+		go m.run(ctx, job)
+	}
+
+	m.mu.Lock()
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+	return job, nil
+}
+
+// run executes a job's grid through the shared pool and finishes the job.
+func (m *Manager) run(ctx context.Context, job *Job) {
+	width := m.opts.Workers
+	if width > job.NPoints {
+		width = job.NPoints
+	}
+	points, err := sweep.MapN(width, job.NPoints, func(i int) (PointResult, error) {
+		if ctx.Err() != nil {
+			return PointResult{}, ErrCanceled
+		}
+		m.adjustGauges(+1, 0, 0)
+		select {
+		case m.sem <- struct{}{}:
+			m.adjustGauges(-1, +1, 0)
+		case <-ctx.Done():
+			m.adjustGauges(-1, 0, 0)
+			return PointResult{}, ErrCanceled
+		}
+		pr, err := m.runPoint(job.Spec, i)
+		<-m.sem
+		m.adjustGauges(0, -1, 0)
+		if err != nil {
+			return PointResult{}, err
+		}
+		m.met.add("serve.points.completed", 1)
+		job.recordPoint(PointEvent{Index: i, Point: pr})
+		return pr, nil
+	})
+	if err == nil {
+		var data []byte
+		if data, err = MarshalResult(job.Spec, points); err == nil {
+			if cerr := m.cache.Put(job.Hash, data); cerr != nil {
+				// A failed persist degrades the cache, not the job.
+				m.met.add("serve.cache.write_errors", 1)
+			}
+			m.updateCacheGauges()
+			m.finish(job, StatusDone, data, nil)
+			m.met.add("serve.jobs.completed", 1)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			m.finish(job, StatusCanceled, nil, err)
+			m.met.add("serve.jobs.canceled", 1)
+		} else {
+			m.finish(job, StatusFailed, nil, err)
+			m.met.add("serve.jobs.failed", 1)
+		}
+	}
+	m.adjustGauges(0, 0, -1)
+	m.span(job)
+}
+
+// recordPoint appends a progress event and fans it out to subscribers.
+func (j *Job) recordPoint(ev PointEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	j.completed++
+	for _, ch := range j.subs {
+		ch <- ev // buffered to NPoints, never blocks
+	}
+}
+
+// finish moves a job to a terminal state and releases waiters/subscribers.
+func (m *Manager) finish(job *Job, st Status, result []byte, err error) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.status = st
+	job.result = result
+	job.err = err
+	job.finished = time.Now()
+	m.met.observe("serve.job.wall_ms", float64(job.finished.Sub(job.started).Milliseconds()))
+	for _, ch := range job.subs {
+		close(ch)
+	}
+	job.subs = nil
+	close(job.done)
+}
+
+// span records the job on the trace bus: one span on the "serve" layer whose
+// lane is the terminal status, in wall time since manager start. /tracez
+// exports the bus as Chrome trace_event JSON.
+func (m *Manager) span(job *Job) {
+	job.mu.Lock()
+	st, from, to := job.status, job.started, job.finished
+	job.mu.Unlock()
+	m.busMu.Lock()
+	defer m.busMu.Unlock()
+	m.bus.Span("serve", "jobs."+string(st), job.ID,
+		simSince(m.start, from), simSince(m.start, to),
+		trace.A("hash", job.Hash[:12]),
+		trace.AInt("points", int64(job.NPoints)),
+		trace.A("cached", fmt.Sprintf("%t", job.Cached)))
+}
+
+// simSince maps a wall instant onto the bus's virtual timeline.
+func simSince(start, t time.Time) sim.Time { return sim.Time(t.Sub(start)) }
+
+// adjustGauges applies deltas to the pool accounting and republishes the
+// queue/inflight gauges.
+func (m *Manager) adjustGauges(dQueued, dRunning, dActive int) {
+	m.gaugeMu.Lock()
+	m.queued += dQueued
+	m.running += dRunning
+	m.active += dActive
+	q, r, a := m.queued, m.running, m.active
+	m.gaugeMu.Unlock()
+	m.met.set("serve.queue.depth", float64(q))
+	m.met.set("serve.points.inflight", float64(r))
+	m.met.set("serve.jobs.inflight", float64(a))
+}
+
+// updateCacheGauges republishes the cache size and hit-ratio gauges.
+func (m *Manager) updateCacheGauges() {
+	hits := m.met.counter("serve.cache.hits")
+	misses := m.met.counter("serve.cache.misses")
+	if total := hits + misses; total > 0 {
+		m.met.set("serve.cache.hit_ratio", hits/total)
+	}
+	m.met.set("serve.cache.entries", float64(m.cache.Len()))
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, len(m.order))
+	for i, id := range m.order {
+		out[i] = m.jobs[id]
+	}
+	return out
+}
+
+// Cancel requests cancellation of a running job: points not yet claimed (or
+// still waiting for a pool slot) abort with ErrCanceled; in-flight points
+// finish, since a running engine cannot be interrupted — the same semantics
+// as sweep's cancel-on-first-error. Reports whether the job exists.
+func (m *Manager) Cancel(id string) bool {
+	job, ok := m.Job(id)
+	if !ok {
+		return false
+	}
+	job.mu.Lock()
+	cancel := job.cancel
+	job.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state.
+func (m *Manager) Wait(job *Job) { <-job.done }
+
+// Result returns a cached result document by hash.
+func (m *Manager) Result(hash string) ([]byte, bool) { return m.cache.Peek(hash) }
+
+// MetricsText renders the metrics registry (the /metricz body).
+func (m *Manager) MetricsText() string { return m.met.format() }
+
+// Counter exposes a metrics counter for tests and the load generator's
+// cache-hit assertions (via /metricz in the HTTP path).
+func (m *Manager) Counter(name string) float64 { return m.met.counter(name) }
+
+// WriteTrace exports the per-job span bus as Chrome trace_event JSON.
+func (m *Manager) WriteTrace(w io.Writer) error {
+	m.busMu.Lock()
+	defer m.busMu.Unlock()
+	return m.bus.WriteChrome(w)
+}
+
+// JobStatus is the wire form of a job snapshot.
+type JobStatus struct {
+	ID        string          `json:"id"`
+	Hash      string          `json:"hash"`
+	Status    Status          `json:"status"`
+	Cached    bool            `json:"cached"`
+	Points    int             `json:"points"`
+	Completed int             `json:"completed"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// StatusOf snapshots a job. withResult embeds the result document on done
+// jobs (it is small — one row per grid point).
+func (m *Manager) StatusOf(job *Job, withResult bool) JobStatus {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	st := JobStatus{
+		ID:        job.ID,
+		Hash:      job.Hash,
+		Status:    job.status,
+		Cached:    job.Cached,
+		Points:    job.NPoints,
+		Completed: job.completed,
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	if withResult && job.status == StatusDone {
+		st.Result = json.RawMessage(job.result)
+	}
+	return st
+}
+
+// ResultBytes returns a done job's result document.
+func (j *Job) ResultBytes() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Err returns a failed/canceled job's error.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Subscribe returns the progress events recorded so far and, for a live job,
+// a channel delivering the rest; the channel is closed when the job
+// finishes. For a finished job the channel is nil. The channel is buffered
+// to the grid size, so a slow reader cannot stall the pool.
+func (j *Job) Subscribe() ([]PointEvent, <-chan PointEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past := append([]PointEvent(nil), j.events...)
+	switch j.status {
+	case StatusRunning:
+		ch := make(chan PointEvent, j.NPoints+1)
+		j.subs = append(j.subs, ch)
+		return past, ch
+	default:
+		return past, nil
+	}
+}
+
+// StatusNow reports the job's current lifecycle state.
+func (j *Job) StatusNow() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}

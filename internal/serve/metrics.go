@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// metrics wraps a trace.Metrics registry with a mutex: the daemon's handlers
+// and workers update it concurrently, unlike the single-threaded simulation
+// registries the package was built for. Rendering reuses the registry's
+// deterministic sorted text format, so /metricz output is stable modulo the
+// values themselves.
+type metrics struct {
+	mu  sync.Mutex
+	reg *trace.Metrics
+}
+
+func newMetrics() *metrics { return &metrics{reg: trace.NewMetrics()} }
+
+// add increments a counter.
+func (m *metrics) add(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Add(name, v)
+}
+
+// set sets a gauge.
+func (m *metrics) set(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Set(name, v)
+}
+
+// observe records a histogram sample.
+func (m *metrics) observe(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Observe(name, v)
+}
+
+// counter reads a counter's value (0 when never incremented).
+func (m *metrics) counter(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, _ := m.reg.Counter(name)
+	return v
+}
+
+// gauge reads a gauge's value (0 when never set).
+func (m *metrics) gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, _ := m.reg.Gauge(name)
+	return v
+}
+
+// format renders the registry as sorted text.
+func (m *metrics) format() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Format()
+}
