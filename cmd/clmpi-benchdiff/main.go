@@ -34,6 +34,7 @@ func main() {
 	trim := flag.String("trim", "", "prefix removed from measured names before grid lookup (default: the baseline's diff.trim)")
 	flagPct := flag.Float64("flag", 50, "mark cells that slowed down by more than this percentage (0 disables)")
 	maxRegress := flag.Float64("max-regress", 0, "exit non-zero when any cell's ns/op exceeds this multiple of its baseline (e.g. 2 = fail on a >2x regression; 0 disables)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "exit non-zero when any cell's allocs/op exceeds this multiple of its baseline; allocation counts are deterministic, so a tight limit like 1.1 is safe (0 disables)")
 	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked by -flag")
 	flag.Parse()
 
@@ -67,10 +68,15 @@ func main() {
 		fmt.Printf("GATE: %s is %.1fx its baseline (%.0f -> %.0f ns/op), over the %.1fx limit\n",
 			d.Name, d.Current/d.Base, d.Base, d.Current, *maxRegress)
 	}
+	allocExceeded := bench.AllocRegressionsBeyond(deltas, *maxAllocRegress)
+	for _, d := range allocExceeded {
+		fmt.Printf("GATE: %s allocates %.2fx its baseline (%d -> %d allocs/op), over the %.2fx limit\n",
+			d.Name, float64(d.CurrentAllocs)/float64(d.BaseAllocs), d.BaseAllocs, d.CurrentAllocs, *maxAllocRegress)
+	}
 	if flagged > 0 {
 		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", flagged, *flagPct)
 	}
-	if len(exceeded) > 0 || (*gate && flagged > 0) {
+	if len(exceeded) > 0 || len(allocExceeded) > 0 || (*gate && flagged > 0) {
 		os.Exit(1)
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 	ranks := flag.String("ranks", "", "also run the large-world matching scaling sweep at these comma-separated rank counts (e.g. 64,128,256,512)")
 	outstanding := flag.Int("outstanding", 32, "outstanding sends and receives per rank in the -ranks sweep")
 	wild := flag.Int("wild", 25, "percentage of wildcard receives in the -ranks sweep")
+	parallelWorld := flag.Int("parallel-world", 0, "run each -ranks point on a partitioned engine with this many partitions and host workers (0 = the serial engine)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -75,7 +76,7 @@ func main() {
 		}
 		fmt.Printf("\nLarge-world matching scaling on %s (%d outstanding ops/rank, %d%% wildcards)\n\n",
 			sys.Name, *outstanding, *wild)
-		points, err := bench.MatchScale(sys, counts, *outstanding, *wild, 2)
+		points, err := bench.MatchScalePartitioned(sys, counts, *outstanding, *wild, 2, *parallelWorld, *parallelWorld)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
 			os.Exit(1)

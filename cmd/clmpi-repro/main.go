@@ -32,6 +32,7 @@ func main() {
 	critReport := flag.Bool("critpath", false, "append a critical-path profile of a traced clMPI Himeno run (attribution, what-if bounds)")
 	flame := flag.String("flame", "", "write that traced run's critical path as folded flamegraph stacks to this file")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
+	parallelWorld := flag.Int("parallel-world", 0, "run the large-world matching scaling section on a partitioned engine with this many partitions and host workers per point (0 = the serial engine)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -106,8 +107,12 @@ func main() {
 	if *ranks > 0 {
 		counts = append(counts, *ranks)
 	}
-	section(fmt.Sprintf("Large-world matching scaling — dense wildcard exchange, RICC fabric, %v ranks", counts))
-	scale, err := bench.MatchScale(cluster.RICC(), counts, 32, 25, 2)
+	if *parallelWorld > 1 {
+		section(fmt.Sprintf("Large-world matching scaling — dense wildcard exchange, RICC fabric, %v ranks, %d-way partitioned engine", counts, *parallelWorld))
+	} else {
+		section(fmt.Sprintf("Large-world matching scaling — dense wildcard exchange, RICC fabric, %v ranks", counts))
+	}
+	scale, err := bench.MatchScalePartitioned(cluster.RICC(), counts, 32, 25, 2, *parallelWorld, *parallelWorld)
 	check(err)
 	headers, rows = bench.MatchScaleTable(scale)
 	fmt.Print(bench.FormatTable(headers, rows))

@@ -32,12 +32,14 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool width shared by all jobs (0 = all host cores)")
 	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity (entries)")
 	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives eviction and restarts)")
+	parallelWorld := flag.Int("parallel-world", 0, "default partitioned-engine width for matchscale jobs that do not set parallel_world (0 = serial engine); a partitioned point claims that many worker slots")
 	flag.Parse()
 
 	mgr, err := serve.NewManager(serve.Options{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
+		Workers:       *workers,
+		CacheEntries:  *cacheEntries,
+		CacheDir:      *cacheDir,
+		ParallelWorld: *parallelWorld,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-serve: %v\n", err)

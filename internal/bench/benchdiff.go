@@ -91,6 +91,11 @@ type BenchDelta struct {
 	Base     float64 // baseline ns/op
 	Current  float64 // measured ns/op
 	DeltaPct float64 // (current-base)/base * 100
+	// Allocation comparison, filled when both sides report allocs/op (the
+	// benchmark must call b.ReportAllocs or be run with -benchmem).
+	BaseAllocs    int64
+	CurrentAllocs int64
+	AllocDeltaPct float64 // (current-base)/base * 100, 0 when BaseAllocs is 0
 }
 
 // DiffBench matches measured benchmarks against baseline grid keys. trim is
@@ -107,9 +112,13 @@ func DiffBench(base *BenchBaseline, cells map[string]BenchCell, trim string) (de
 			continue
 		}
 		seen[key] = true
-		d := BenchDelta{Name: key, Base: b.NsPerOp, Current: c.NsPerOp}
+		d := BenchDelta{Name: key, Base: b.NsPerOp, Current: c.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CurrentAllocs: c.AllocsPerOp}
 		if b.NsPerOp > 0 {
 			d.DeltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocDeltaPct = float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp) * 100
 		}
 		deltas = append(deltas, d)
 	}
@@ -142,11 +151,39 @@ func RegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
 	return out
 }
 
+// AllocRegressionsBeyond returns the cells whose measured allocs/op exceeds
+// factor times the baseline, in name order. Allocation counts are exact (no
+// timer noise), so a much tighter factor than the ns/op gate is appropriate
+// — 1.1 catches a 10% allocation regression that a 2x wall-clock gate would
+// wave through. Cells with no baseline allocs/op are never returned.
+func AllocRegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
+	if factor <= 0 {
+		return nil
+	}
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.BaseAllocs > 0 && float64(d.CurrentAllocs) > factor*float64(d.BaseAllocs) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // FormatBenchDiff renders the comparison as an aligned regression note.
 // Cells whose |delta| exceeds flagPct get a trailing marker; flagPct <= 0
 // disables the markers. The returned count is the number of flagged
-// regressions (slowdowns only — speedups are never flagged).
+// regressions (ns/op slowdowns only — speedups and allocation drifts are
+// never flagged; allocation gating is AllocRegressionsBeyond's job).
+// Allocation columns appear only when some cell carries allocation data, so
+// baselines predating -benchmem keep their old rendering.
 func FormatBenchDiff(deltas []BenchDelta, unmatched, missing []string, flagPct float64) (string, int) {
+	withAllocs := false
+	for _, d := range deltas {
+		if d.BaseAllocs > 0 || d.CurrentAllocs > 0 {
+			withAllocs = true
+			break
+		}
+	}
 	rows := make([][]string, 0, len(deltas))
 	flagged := 0
 	for _, d := range deltas {
@@ -155,16 +192,31 @@ func FormatBenchDiff(deltas []BenchDelta, unmatched, missing []string, flagPct f
 			mark = "REGRESSION"
 			flagged++
 		}
-		rows = append(rows, []string{
+		row := []string{
 			d.Name,
 			fmt.Sprintf("%.0f", d.Base),
 			fmt.Sprintf("%.0f", d.Current),
 			fmt.Sprintf("%+.1f%%", d.DeltaPct),
-			mark,
-		})
+		}
+		if withAllocs {
+			dAlloc := ""
+			if d.BaseAllocs > 0 {
+				dAlloc = fmt.Sprintf("%+.1f%%", d.AllocDeltaPct)
+			}
+			row = append(row,
+				fmt.Sprintf("%d", d.BaseAllocs),
+				fmt.Sprintf("%d", d.CurrentAllocs),
+				dAlloc)
+		}
+		rows = append(rows, append(row, mark))
 	}
+	headers := []string{"benchmark", "base ns/op", "now ns/op", "delta"}
+	if withAllocs {
+		headers = append(headers, "base allocs", "now allocs", "delta")
+	}
+	headers = append(headers, "")
 	var b strings.Builder
-	b.WriteString(FormatTable([]string{"benchmark", "base ns/op", "now ns/op", "delta", ""}, rows))
+	b.WriteString(FormatTable(headers, rows))
 	for _, n := range unmatched {
 		fmt.Fprintf(&b, "no baseline cell for %s\n", n)
 	}

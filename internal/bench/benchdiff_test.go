@@ -99,6 +99,42 @@ func TestRegressionsBeyond(t *testing.T) {
 	}
 }
 
+func TestAllocRegressionsBeyond(t *testing.T) {
+	deltas := []BenchDelta{
+		{Name: "steady", BaseAllocs: 1000, CurrentAllocs: 1050}, // 1.05x: under a 1.1 gate
+		{Name: "leaky", BaseAllocs: 1000, CurrentAllocs: 1200},  // 1.2x: over
+		{Name: "new", BaseAllocs: 0, CurrentAllocs: 5000},       // no baseline: never gated
+		{Name: "tighter", BaseAllocs: 1000, CurrentAllocs: 400}, // improvement
+	}
+	got := AllocRegressionsBeyond(deltas, 1.1)
+	if len(got) != 1 || got[0].Name != "leaky" {
+		t.Fatalf("AllocRegressionsBeyond(1.1) = %+v", got)
+	}
+	if out := AllocRegressionsBeyond(deltas, 0); out != nil {
+		t.Fatalf("factor 0 must disable the gate, got %+v", out)
+	}
+}
+
+// TestFormatBenchDiffAllocColumns checks the allocation columns appear
+// exactly when some delta carries allocation data, and that allocation
+// drift alone never contributes to the flagged count (gating on allocations
+// is AllocRegressionsBeyond's job, with its own tighter threshold).
+func TestFormatBenchDiffAllocColumns(t *testing.T) {
+	withA := []BenchDelta{{Name: "cell", Base: 100, Current: 101, DeltaPct: 1,
+		BaseAllocs: 10, CurrentAllocs: 20, AllocDeltaPct: 100}}
+	note, flagged := FormatBenchDiff(withA, nil, nil, 5)
+	if flagged != 0 {
+		t.Fatalf("alloc drift flagged as an ns/op regression:\n%s", note)
+	}
+	if !strings.Contains(note, "base allocs") || !strings.Contains(note, "+100.0%") {
+		t.Fatalf("allocation columns missing:\n%s", note)
+	}
+	without := []BenchDelta{{Name: "cell", Base: 100, Current: 101, DeltaPct: 1}}
+	if note, _ := FormatBenchDiff(without, nil, nil, 5); strings.Contains(note, "allocs") {
+		t.Fatalf("allocation columns rendered without data:\n%s", note)
+	}
+}
+
 // TestRepoBaselinesAreDiffable pins the contract the CI bench loop relies on:
 // every checked-in BENCH_*.json parses, has a populated grid with positive
 // ns/op cells, and carries the self-describing diff spec that lets

@@ -32,6 +32,12 @@ type MatchPoint struct {
 	// high-water tracking: posted receives and unexpected messages.
 	MaxPostedHW     int
 	MaxUnexpectedHW int
+	// Parts and Workers describe the partitioned engine configuration that
+	// produced the point (both zero for a serial run); Windows counts the
+	// conservative synchronization windows it drove.
+	Parts   int    `json:"Parts,omitempty"`
+	Workers int    `json:"Workers,omitempty"`
+	Windows uint64 `json:"Windows,omitempty"`
 }
 
 // matchWorkload runs the dense exchange on a freshly built world and
@@ -55,46 +61,7 @@ func matchWorkload(sys cluster.System, ranks, outstanding, wildPct, rounds int) 
 	start := time.Now()
 	eng := sim.NewEngine()
 	w := mpi.NewWorld(cluster.New(eng, sys, ranks))
-	const msgBytes = 256 // eager: keeps the workload matching-bound
-	w.LaunchRanks("matchscale", func(p *sim.Proc, ep *mpi.Endpoint) {
-		n, r := ep.Size(), ep.Rank()
-		recvBufs := make([][]byte, outstanding)
-		for j := range recvBufs {
-			recvBufs[j] = make([]byte, msgBytes)
-		}
-		payload := make([]byte, msgBytes)
-		for round := 0; round < rounds; round++ {
-			reqs := make([]*mpi.Request, 0, 2*outstanding)
-			for j := 0; j < outstanding; j++ {
-				src, tag := ((r-1-j)%n+n)%n, j
-				if j*100 < outstanding*wildPct {
-					if j%2 == 0 {
-						src = mpi.AnySource
-					} else {
-						tag = mpi.AnyTag
-					}
-				}
-				req, err := ep.Irecv(p, recvBufs[j], src, tag, mpi.Bytes, w.Comm())
-				if err != nil {
-					panic(err)
-				}
-				reqs = append(reqs, req)
-			}
-			for j := 0; j < outstanding; j++ {
-				req, err := ep.Isend(p, payload, (r+1+j)%n, j, mpi.Bytes, w.Comm())
-				if err != nil {
-					panic(err)
-				}
-				reqs = append(reqs, req)
-			}
-			if err := mpi.Waitall(p, reqs...); err != nil {
-				panic(err)
-			}
-			if err := ep.Barrier(p, w.Comm()); err != nil {
-				panic(err)
-			}
-		}
-	})
+	w.LaunchRanks("matchscale", matchRankBody(outstanding, wildPct, rounds))
 	if err := eng.Run(); err != nil {
 		return MatchPoint{}, fmt.Errorf("matchscale ranks=%d: %w", ranks, err)
 	}
@@ -116,6 +83,105 @@ func matchWorkload(sys cluster.System, ranks, outstanding, wildPct, rounds int) 
 	return pt, nil
 }
 
+// matchRankBody is the dense-exchange per-rank program, shared by the serial
+// and partitioned drivers (it only touches the endpoint's own world).
+func matchRankBody(outstanding, wildPct, rounds int) func(p *sim.Proc, ep *mpi.Endpoint) {
+	const msgBytes = 256 // eager: keeps the workload matching-bound
+	return func(p *sim.Proc, ep *mpi.Endpoint) {
+		comm := ep.World().Comm()
+		n, r := ep.Size(), ep.Rank()
+		recvBufs := make([][]byte, outstanding)
+		for j := range recvBufs {
+			recvBufs[j] = make([]byte, msgBytes)
+		}
+		payload := make([]byte, msgBytes)
+		for round := 0; round < rounds; round++ {
+			reqs := make([]*mpi.Request, 0, 2*outstanding)
+			for j := 0; j < outstanding; j++ {
+				src, tag := ((r-1-j)%n+n)%n, j
+				if j*100 < outstanding*wildPct {
+					if j%2 == 0 {
+						src = mpi.AnySource
+					} else {
+						tag = mpi.AnyTag
+					}
+				}
+				req, err := ep.Irecv(p, recvBufs[j], src, tag, mpi.Bytes, comm)
+				if err != nil {
+					panic(err)
+				}
+				reqs = append(reqs, req)
+			}
+			for j := 0; j < outstanding; j++ {
+				req, err := ep.Isend(p, payload, (r+1+j)%n, j, mpi.Bytes, comm)
+				if err != nil {
+					panic(err)
+				}
+				reqs = append(reqs, req)
+			}
+			if err := mpi.Waitall(p, reqs...); err != nil {
+				panic(err)
+			}
+			if err := ep.Barrier(p, comm); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// matchWorkloadPart runs the dense exchange on a world partitioned into
+// `parts` shards driven by `workers` host cores, and returns the filled
+// point. The event streams — and therefore SimMS and the high-water marks —
+// are a deterministic function of (sys, ranks, outstanding, wildPct, rounds,
+// parts) alone; workers only changes HostMS.
+func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int) (MatchPoint, error) {
+	if outstanding > ranks-1 {
+		outstanding = ranks - 1
+	}
+	if outstanding < 1 || rounds < 1 {
+		return MatchPoint{}, fmt.Errorf("matchscale: need >=2 ranks, >=1 round (got ranks=%d rounds=%d)", ranks, rounds)
+	}
+	if sys.MaxNodes < ranks {
+		sys.MaxNodes = ranks
+	}
+	start := time.Now()
+	pe := sim.NewPartitionedEngine(parts, sys.NIC.WireLatency)
+	pw := mpi.NewPartWorld(pe, sys, ranks)
+	pw.LaunchRanks("matchscale", matchRankBody(outstanding, wildPct, rounds))
+	if err := pw.Run(workers); err != nil {
+		return MatchPoint{}, fmt.Errorf("matchscale ranks=%d parts=%d: %w", ranks, parts, err)
+	}
+	pt := MatchPoint{
+		Ranks: ranks, Outstanding: outstanding, WildPct: wildPct, Rounds: rounds,
+		Messages: ranks * outstanding * rounds,
+		SimMS:    pe.Now().Seconds() * 1e3,
+		HostMS:   float64(time.Since(start)) / 1e6,
+		Parts:    parts, Workers: workers, Windows: pe.Windows(),
+	}
+	for r := 0; r < ranks; r++ {
+		p, u := pw.MatchQueueHighWater(r)
+		if p > pt.MaxPostedHW {
+			pt.MaxPostedHW = p
+		}
+		if u > pt.MaxUnexpectedHW {
+			pt.MaxUnexpectedHW = u
+		}
+	}
+	return pt, nil
+}
+
+// MatchScalePoint runs a single cell of the matching-scaling sweep: the
+// dense wildcard exchange at one rank count, on the serial engine or — for
+// parts > 1 — on a parts-way partitioned engine driven by `workers` host
+// workers. This is the unit the serve daemon shards; callers running a
+// whole rank grid want MatchScale or MatchScalePartitioned.
+func MatchScalePoint(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int) (MatchPoint, error) {
+	if parts > 1 {
+		return matchWorkloadPart(sys, ranks, outstanding, wildPct, rounds, parts, workers)
+	}
+	return matchWorkload(sys, ranks, outstanding, wildPct, rounds)
+}
+
 // MatchScale runs the dense wildcard exchange at each rank count.
 func MatchScale(sys cluster.System, rankCounts []int, outstanding, wildPct, rounds int) ([]MatchPoint, error) {
 	return sweep.Map(len(rankCounts), func(i int) (MatchPoint, error) {
@@ -123,11 +189,40 @@ func MatchScale(sys cluster.System, rankCounts []int, outstanding, wildPct, roun
 	})
 }
 
-// MatchScaleTable renders the sweep for the CLI tools.
+// MatchScalePartitioned runs the dense wildcard exchange at each rank count
+// on a `parts`-way partitioned engine driven by `workers` host cores per
+// point. Every point claims `workers` sweep slots, so a host-parallel sweep
+// of host-parallel runs still respects the configured pool width. parts <= 1
+// is MatchScale — the serial engine, one slot per point.
+func MatchScalePartitioned(sys cluster.System, rankCounts []int, outstanding, wildPct, rounds, parts, workers int) ([]MatchPoint, error) {
+	if parts <= 1 {
+		return MatchScale(sys, rankCounts, outstanding, wildPct, rounds)
+	}
+	if workers <= 0 {
+		workers = parts
+	}
+	return sweep.MapWeighted(workers, len(rankCounts), func(i int) (MatchPoint, error) {
+		return matchWorkloadPart(sys, rankCounts[i], outstanding, wildPct, rounds, parts, workers)
+	})
+}
+
+// MatchScaleTable renders the sweep for the CLI tools. Partitioned points
+// (any Parts > 0) add the partition geometry and conservative-window count
+// as extra columns.
 func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
 	headers = []string{"ranks", "out/rank", "wild%", "messages", "sim ms", "host ms", "peak posted", "peak unexpected"}
+	partitioned := false
 	for _, pt := range points {
-		rows = append(rows, []string{
+		if pt.Parts > 0 {
+			partitioned = true
+			break
+		}
+	}
+	if partitioned {
+		headers = append(headers, "parts", "workers", "windows")
+	}
+	for _, pt := range points {
+		row := []string{
 			fmt.Sprintf("%d", pt.Ranks),
 			fmt.Sprintf("%d", pt.Outstanding),
 			fmt.Sprintf("%d", pt.WildPct),
@@ -136,7 +231,14 @@ func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
 			fmt.Sprintf("%.1f", pt.HostMS),
 			fmt.Sprintf("%d", pt.MaxPostedHW),
 			fmt.Sprintf("%d", pt.MaxUnexpectedHW),
-		})
+		}
+		if partitioned {
+			row = append(row,
+				fmt.Sprintf("%d", pt.Parts),
+				fmt.Sprintf("%d", pt.Workers),
+				fmt.Sprintf("%d", pt.Windows))
+		}
+		rows = append(rows, row)
 	}
 	return headers, rows
 }

@@ -58,6 +58,41 @@ func TracePreset(name string) (*trace.Tracer, error) {
 	return trc, err
 }
 
+// TracePartitioned runs the dense wildcard exchange (the matching-scaling
+// workload) on a parts-way partitioned world with one tracer per shard and
+// returns the merged, partition-tagged bus. Like TracePreset the output is
+// byte-deterministic — the partitioned engine's event streams do not depend
+// on the worker count — so the critical-path engine can be golden-tested on
+// a genuinely parallel run.
+func TracePartitioned(name string, ranks, parts, workers int) (*trace.Bus, error) {
+	var sys cluster.System
+	switch name {
+	case "cichlid":
+		sys = cluster.Cichlid()
+	case "ricc":
+		sys = cluster.RICC()
+	default:
+		return nil, fmt.Errorf("unknown preset %q (have: cichlid, ricc)", name)
+	}
+	if sys.MaxNodes < ranks {
+		sys.MaxNodes = ranks
+	}
+	pe := sim.NewPartitionedEngine(parts, sys.NIC.WireLatency)
+	pw := mpi.NewPartWorld(pe, sys, ranks)
+	tracers := trace.InstrumentPart(pw)
+	pw.LaunchRanks("tracepart", matchRankBody(3, 25, 2))
+	if err := pw.Run(workers); err != nil {
+		return nil, fmt.Errorf("tracepart ranks=%d parts=%d: %w", ranks, parts, err)
+	}
+	buses := make([]*trace.Bus, len(tracers))
+	for i, t := range tracers {
+		buses[i] = t.Bus()
+	}
+	b := trace.MergeBuses(buses...)
+	b.Summarize()
+	return b, nil
+}
+
 // ObservedOverlap extracts the headline observability numbers from a
 // summarized bus: the communication/computation overlap ratio and the peak
 // NIC-path utilization across all nodes (lanes named node*.tx / node*.rx).

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkPDES measures the dense wildcard exchange (the matching-scaling
+// workload of BENCH_mpi.json, at large-world rank counts) end to end on the
+// serial engine and on the 4-way partitioned engine, with one and four
+// workers. One iteration is one whole simulation, so ns/op is host cost of
+// the full run and allocs/op is the complete allocation bill — the number
+// the arena/pool work in internal/sim and internal/mpi exists to shrink.
+// Baselines are pinned in BENCH_pdes.json; on a single-core host workers=4
+// degenerates to time-sliced workers and only the allocation numbers and
+// the workers=1 speedup are meaningful.
+func BenchmarkPDES(b *testing.B) {
+	sys := cluster.RICC()
+	for _, ranks := range []int{2000, 10000} {
+		b.Run(fmt.Sprintf("engine=serial/ranks=%d", ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matchWorkload(sys, ranks, 8, 25, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("engine=part/parts=4/workers=%d/ranks=%d", workers, ranks), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := matchWorkloadPart(sys, ranks, 8, 25, 1, 4, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

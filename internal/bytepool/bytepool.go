@@ -20,12 +20,27 @@ const maxClass = 26
 
 var classes [maxClass + 1]sync.Pool
 
+// boxes recycles the *[]byte headers the size-class pools store, so Put does
+// not heap-allocate a fresh box per call (sync.Pool values must be pointers
+// to avoid boxing the interface, and &b escapes).
+var boxes = sync.Pool{New: func() any { return new([]byte) }}
+
 // class returns the size-class index for n, or -1 if n is unpooled.
 func class(n int) int {
 	if n <= 0 || n > 1<<maxClass {
 		return -1
 	}
 	return bits.Len(uint(n - 1))
+}
+
+// unbox extracts the slice from a pooled box and returns the empty box to
+// the header pool.
+func unbox(v any) []byte {
+	box := v.(*[]byte)
+	b := *box
+	*box = nil
+	boxes.Put(box)
+	return b
 }
 
 // Get returns a slice of length n. The contents are arbitrary bytes from a
@@ -36,7 +51,7 @@ func Get(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := classes[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		return unbox(v)[:n]
 	}
 	return make([]byte, n, 1<<c)
 }
@@ -49,7 +64,7 @@ func GetZero(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := classes[c].Get(); v != nil {
-		b := (*v.(*[]byte))[:n]
+		b := unbox(v)[:n]
 		clear(b)
 		return b
 	}
@@ -64,6 +79,7 @@ func Put(b []byte) {
 	if c == 0 || c&(c-1) != 0 || c > 1<<maxClass {
 		return
 	}
-	b = b[:c]
-	classes[bits.Len(uint(c-1))].Put(&b)
+	box := boxes.Get().(*[]byte)
+	*box = b[:c]
+	classes[bits.Len(uint(c-1))].Put(box)
 }

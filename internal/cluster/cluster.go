@@ -223,13 +223,31 @@ type Cluster struct {
 
 // New builds a cluster of n nodes of the given system on engine e.
 func New(e *sim.Engine, sys System, n int) *Cluster {
+	return NewPartial(e, sys, n, 0, n)
+}
+
+// NewPartial builds one partition of an n-node cluster: only nodes in
+// [lo, hi) are instantiated (entries outside the range stay nil), all on
+// engine e — typically one shard of a sim.PartitionedEngine. Indices and
+// cost parameters are identical to the full cluster, so per-node modelling
+// code is partition-agnostic. A shared switch backplane is a global
+// resource and cannot be split conservatively, so systems with one reject
+// partial construction.
+func NewPartial(e *sim.Engine, sys System, n, lo, hi int) *Cluster {
 	if n < 1 {
 		panic("cluster: need at least one node")
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("cluster: node range [%d,%d) invalid for %d nodes", lo, hi, n))
 	}
 	if sys.MaxNodes > 0 && n > sys.MaxNodes {
 		panic(fmt.Sprintf("cluster: system %s has only %d nodes, requested %d", sys.Name, sys.MaxNodes, n))
 	}
-	c := &Cluster{Eng: e, Sys: sys}
+	partial := hi-lo < n
+	if partial && sys.NIC.Backplane > 0 {
+		panic("cluster: partitioned clusters do not support a shared backplane")
+	}
+	c := &Cluster{Eng: e, Sys: sys, Nodes: make([]*Node, n)}
 	if sys.NIC.Backplane > 0 {
 		paths := int(sys.NIC.Backplane / sys.NIC.BW)
 		if paths < 1 {
@@ -237,7 +255,7 @@ func New(e *sim.Engine, sys System, n int) *Cluster {
 		}
 		c.Backplane = sim.NewSemaphore(e, sys.Name+".backplane", paths)
 	}
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		name := fmt.Sprintf("node%d", i)
 		nd := &Node{
 			Index: i,
@@ -249,7 +267,7 @@ func New(e *sim.Engine, sys System, n int) *Cluster {
 		}
 		u := nd.AddGPU()
 		nd.H2D, nd.D2H, nd.GPUCompute = u.H2D, u.D2H, u.GPUCompute
-		c.Nodes = append(c.Nodes, nd)
+		c.Nodes[i] = nd
 	}
 	return c
 }
@@ -257,9 +275,13 @@ func New(e *sim.Engine, sys System, n int) *Cluster {
 // Observe installs o on every contended link of the cluster: each node's
 // NIC transmit/receive paths and each GPU unit's PCIe directions and
 // compute unit. Call it before the simulation runs; GPUs added afterwards
-// via AddGPU are not covered retroactively.
+// via AddGPU are not covered retroactively. On a partial cluster only the
+// instantiated nodes are observed.
 func (c *Cluster) Observe(o sim.LinkObserver) {
 	for _, nd := range c.Nodes {
+		if nd == nil {
+			continue
+		}
 		nd.TX.SetObserver(o)
 		nd.RX.SetObserver(o)
 		for _, u := range nd.GPUs {

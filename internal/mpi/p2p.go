@@ -39,8 +39,15 @@ type message struct {
 	// receiver-owned buffer straight from the sender's (no intermediate
 	// payload capture). Set only when matching is synchronous with the send.
 	direct  bool
-	arrived *sim.Trigger // data available at the receiver (eager/local)
+	arrived sim.Trigger // data available at the receiver (eager/local)
 	req     *Request
+	// Cross-partition markers (see partition.go). xArrived: an injected
+	// eager envelope whose payload came with it (req is nil — the sender's
+	// request completed on its own shard). xRndv: an injected rendezvous
+	// envelope whose data phase runs as a separate cross event once the
+	// receiver grants clear-to-send (req is nil here too).
+	xArrived bool
+	xRndv    bool
 
 	// Intrusive matcher links (see match.go): the (src, tag) lane FIFO and
 	// the destination rank's arrival list. Nil once unlinked, so a matched
@@ -85,18 +92,21 @@ func (ep *Endpoint) Isend(p *sim.Proc, buf []byte, dest, tag int, dtype Datatype
 // collective traffic (which uses negative tags).
 func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 	w := ep.world
-	w.seq++
-	msg := &message{
-		src: ep.rank, dst: dest, tag: tag, seq: w.seq,
-		size: len(buf),
-		req:  newRequest(w.eng, fmt.Sprintf("isend %d->%d tag %d", ep.rank, dest, tag)),
+	if ps := w.part; ps != nil && !ps.local(dest) && dest != ep.rank {
+		// Destination lives on another partition: route through the
+		// cross-partition transport (see partition.go).
+		return ps.crossSend(ep, buf, dest, tag, comm, false)
 	}
+	msg := w.getMsg()
+	msg.src, msg.dst, msg.tag, msg.seq = ep.rank, dest, tag, w.nextSeq()
+	msg.size = len(buf)
+	msg.req = newReqCoded(w.eng, reqIsend, ep.rank, dest, tag)
 	msg.req.seq = msg.seq
 	switch {
 	case dest == ep.rank:
 		// Self-message: a shared-memory copy, no NIC involved.
 		msg.eager = true
-		msg.arrived = sim.NewTrigger(w.eng, "self-msg")
+		msg.arrived.Init(w.eng, "self-msg")
 		if rop := comm.firstMatch(msg); rop != nil && msg.size <= len(rop.buf) {
 			// Copy elision: the receive is already posted, and matching
 			// happens synchronously below, so delivery can fill the
@@ -115,15 +125,24 @@ func (ep *Endpoint) postSend(buf []byte, dest, tag int, comm *Comm) *Request {
 		msg.eager = true
 		msg.payload = bytepool.Get(len(buf))
 		copy(msg.payload, buf)
-		msg.arrived = sim.NewTrigger(w.eng, "eager-msg")
-		w.eng.Spawn(fmt.Sprintf("eager %d->%d", ep.rank, dest), func(tp *sim.Proc) {
-			ep.wireTransfer(tp, dest, int64(msg.size))
-			w.observe(MsgEvent{Kind: MsgWireDone, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-				Seq: msg.seq, Bytes: msg.size, Eager: true, At: tp.Now()})
-			// The NIC has the data: the sender's buffer is free.
-			msg.req.complete(Status{}, nil)
-			msg.arrived.FireAfter(w.clus.Sys.NIC.WireLatency, nil)
-		})
+		msg.arrived.Init(w.eng, "eager-msg")
+		if ps := w.part; ps != nil && ps.parts() > 1 {
+			// Partitioned runs route intra-shard eager transfers through the
+			// source node's resident NIC daemon: the same wire charges and
+			// completion order as the transient process below, without a
+			// goroutine + channel + formatted name per message.
+			ps.enqueueTx(ep.rank, txJob{kind: txEagerLocal, msg: msg})
+			break
+		}
+		w.eng.SpawnLazy(func() string { return fmt.Sprintf("eager %d->%d", msg.src, msg.dst) },
+			func(tp *sim.Proc) {
+				ep.wireTransfer(tp, dest, int64(msg.size))
+				w.observe(MsgEvent{Kind: MsgWireDone, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
+					Seq: msg.seq, Bytes: msg.size, Eager: true, At: tp.Now()})
+				// The NIC has the data: the sender's buffer is free.
+				msg.req.complete(Status{}, nil)
+				msg.arrived.FireAfter(w.clus.Sys.NIC.WireLatency, nil)
+			})
 	default:
 		msg.sendBuf = buf // rendezvous: transfer happens at match time
 	}
@@ -161,13 +180,14 @@ func (ep *Endpoint) Irecv(p *sim.Proc, buf []byte, src, tag int, dtype Datatype,
 // internal collective traffic.
 func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
 	w := ep.world
-	w.seq++
-	rop := &recvOp{
-		owner: ep.rank,
-		src:   src, tag: tag, seq: w.seq, buf: buf,
-		req: newRequest(w.eng, fmt.Sprintf("irecv %d<-%d tag %d", ep.rank, src, tag)),
-	}
+	rop := w.getRop()
+	rop.owner = ep.rank
+	rop.src, rop.tag, rop.seq, rop.buf = src, tag, w.nextSeq(), buf
+	rop.req = newReqCoded(w.eng, reqIrecv, ep.rank, src, tag)
 	rop.req.seq = rop.seq
+	// deliver may recycle rop through the world's pool (partitioned runs),
+	// so everything needed after it runs is snapshotted here.
+	req, seq := rop.req, rop.seq
 	// Take the earliest pending message in arrival order (non-overtaking per
 	// sender); only an unmatched receive joins the posted queue.
 	msg := comm.match.takeMsg(rop)
@@ -176,12 +196,12 @@ func (ep *Endpoint) postRecv(buf []byte, src, tag int, comm *Comm) *Request {
 	}
 	pd, ud := comm.match.depths(ep.rank)
 	w.observe(MsgEvent{Kind: MsgRecvPosted, Src: src, Dst: ep.rank, Tag: tag,
-		Seq: rop.seq, Bytes: len(buf), At: w.eng.Now(),
+		Seq: seq, Bytes: len(buf), At: w.eng.Now(),
 		PostedDepth: pd, UnexpectedDepth: ud})
 	if msg != nil {
 		comm.deliver(msg, rop)
 	}
-	return rop.req
+	return req
 }
 
 // matches reports whether a posted receive accepts a message. Wildcard tags

@@ -90,13 +90,16 @@ func (ep *Endpoint) Ssend(p *sim.Proc, buf []byte, dest, tag int, comm *Comm) er
 		return err
 	}
 	w := ep.world
-	w.seq++
-	msg := &message{
-		src: ep.rank, dst: dest, tag: tag, seq: w.seq,
-		size:    len(buf),
-		sendBuf: buf, // rendezvous path: completes only on match
-		req:     newRequest(w.eng, fmt.Sprintf("ssend %d->%d tag %d", ep.rank, dest, tag)),
+	if ps := w.part; ps != nil && !ps.local(dest) {
+		req := ps.crossSend(ep, buf, dest, tag, comm, true)
+		_, err := req.Wait(p)
+		return err
 	}
+	msg := w.getMsg()
+	msg.src, msg.dst, msg.tag, msg.seq = ep.rank, dest, tag, w.nextSeq()
+	msg.size = len(buf)
+	msg.sendBuf = buf // rendezvous path: completes only on match
+	msg.req = newReqCoded(w.eng, reqSsend, ep.rank, dest, tag)
 	msg.req.seq = msg.seq
 	comm.match.addMsg(msg)
 	comm.matchPostedMsg(msg)

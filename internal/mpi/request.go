@@ -1,19 +1,34 @@
 package mpi
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/sim"
 )
 
+// reqKind codes the diagnostic identity of a transport request, so the
+// label string — pure diagnostics, read only by deadlock reports and Label
+// — is formatted lazily instead of once per operation on the hot path.
+type reqKind uint8
+
+const (
+	reqUser reqKind = iota
+	reqIsend
+	reqIrecv
+	reqSsend
+)
+
 // Request tracks a nonblocking operation, like MPI_Request. It completes at
 // most once; Wait and Test observe the final status and error.
 type Request struct {
-	label  string
-	seq    uint64 // owning message / receive-op sequence (0 = none)
-	done   *sim.Trigger
-	status Status
-	err    error
+	label   string
+	kind    reqKind
+	a, b, c int    // coded label operands (ranks and tag)
+	seq     uint64 // owning message / receive-op sequence (0 = none)
+	done    sim.Trigger
+	status  Status
+	err     error
 }
 
 // Seq reports the sequence number of the message (sends) or receive
@@ -31,7 +46,19 @@ func NewUserRequest(w *World, label string) (*Request, func(status Status, err e
 }
 
 func newRequest(e *sim.Engine, label string) *Request {
-	return &Request{label: label, done: sim.NewTrigger(e, "request "+label)}
+	r := &Request{label: label}
+	r.done.Init(e, "request "+label)
+	return r
+}
+
+// newReqCoded creates a transport request whose label and deadlock wait
+// label are derived on demand from (kind, a, b, c). Byte-for-byte the same
+// strings as the eager newRequest form, without the two fmt.Sprintf calls
+// per operation.
+func newReqCoded(e *sim.Engine, kind reqKind, a, b, c int) *Request {
+	r := &Request{kind: kind, a: a, b: b, c: c}
+	r.done.InitLazy(e, r)
+	return r
 }
 
 // complete finishes the request now.
@@ -47,7 +74,24 @@ func (r *Request) completeAfter(d time.Duration, status Status, err error) {
 }
 
 // Label reports the request's diagnostic name.
-func (r *Request) Label() string { return r.label }
+func (r *Request) Label() string {
+	if r.label == "" {
+		switch r.kind {
+		case reqIsend:
+			r.label = fmt.Sprintf("isend %d->%d tag %d", r.a, r.b, r.c)
+		case reqIrecv:
+			r.label = fmt.Sprintf("irecv %d<-%d tag %d", r.a, r.b, r.c)
+		case reqSsend:
+			r.label = fmt.Sprintf("ssend %d->%d tag %d", r.a, r.b, r.c)
+		}
+	}
+	return r.label
+}
+
+// WaitLabel implements sim.Labeler: the deadlock-report label of a process
+// blocked on this request, identical to the string an eagerly labelled
+// request trigger would have carried.
+func (r *Request) WaitLabel() string { return "trigger request " + r.Label() }
 
 // Wait blocks process p until the operation completes, returning the
 // receive status (zero Status for sends) and the operation's error.
@@ -67,7 +111,7 @@ func (r *Request) Test() (bool, Status, error) {
 
 // Done exposes the completion trigger so other runtimes can chain on it —
 // this is what clCreateEventFromMPIRequest builds on (§IV-C of the paper).
-func (r *Request) Done() *sim.Trigger { return r.done }
+func (r *Request) Done() *sim.Trigger { return &r.done }
 
 // Waitall blocks until every request completes, returning the first error
 // in slice order, like MPI_Waitall. Nil requests are skipped.

@@ -28,6 +28,19 @@ func (ep *Endpoint) checkArgs(dest, tag int) error {
 // per-message software overhead. It returns when the last byte has left.
 func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 	w := ep.world
+	pname := ""
+	if w.Node(ep.rank).TX.Observed() || w.Node(dest).RX.Observed() {
+		pname = p.Name()
+	}
+	ep.wireTransferProc(p, dest, n, pname)
+}
+
+// wireTransferProc is wireTransfer with the charge's process name supplied by
+// the caller, so resident transport daemons (partition.go) can charge under a
+// synthetic per-message identity — and skip formatting it entirely when the
+// links are unobserved.
+func (ep *Endpoint) wireTransferProc(p *sim.Proc, dest int, n int64, pname string) {
+	w := ep.world
 	tx := w.Node(ep.rank).TX
 	rx := w.Node(dest).RX
 	ov := w.clus.Sys.NIC.MsgOverhead
@@ -49,10 +62,10 @@ func (ep *Endpoint) wireTransfer(p *sim.Proc, dest int, n int64) {
 	// per-message software overhead first, then wire serialization.
 	mid := start.Add(ov)
 	end := p.Now()
-	tx.ChargeTagged("mpi.sw", p.Name(), 0, start, mid)
-	tx.ChargeTagged("wire", p.Name(), n, mid, end)
-	rx.ChargeTagged("mpi.sw", p.Name(), 0, start, mid)
-	rx.ChargeTagged("wire", p.Name(), n, mid, end)
+	tx.ChargeTagged("mpi.sw", pname, 0, start, mid)
+	tx.ChargeTagged("wire", pname, n, mid, end)
+	rx.ChargeTagged("mpi.sw", pname, 0, start, mid)
+	rx.ChargeTagged("wire", pname, n, mid, end)
 	rx.Unlock(p)
 	tx.Unlock(p)
 }
@@ -65,22 +78,32 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 	// left the queues); the delivered event reuses them so its payload does
 	// not depend on unrelated traffic between match and delivery.
 	pd, ud := c.match.depths(msg.dst)
+	// Snapshot the receive sequence: the delivered closure may run after the
+	// recvOp has been recycled through the world's pool.
+	rseq := rop.seq
 	delivered := func(at sim.Time) MsgEvent {
 		return MsgEvent{Kind: MsgDelivered, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-			Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, Eager: msg.eager, At: at,
+			Seq: msg.seq, RecvSeq: rseq, Bytes: msg.size, Eager: msg.eager, At: at,
 			PostedDepth: pd, UnexpectedDepth: ud}
 	}
 	w.observe(MsgEvent{Kind: MsgMatched, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-		Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, Eager: msg.eager, At: now,
+		Seq: msg.seq, RecvSeq: rseq, Bytes: msg.size, Eager: msg.eager, At: now,
 		PostedDepth: pd, UnexpectedDepth: ud})
 	st := Status{Source: msg.src, Tag: msg.tag, Count: msg.size}
 	if msg.size > len(rop.buf) {
 		// Truncation is the receiver's error; the sender completes
 		// normally (its data was accepted by the transport).
 		err := fmt.Errorf("%w: %d bytes into %d-byte buffer", ErrTruncate, msg.size, len(rop.buf))
-		if msg.eager {
+		switch {
+		case msg.xRndv:
+			// Cross-partition rendezvous: grant a negative clear-to-send so
+			// the remote sender completes without a data phase — the same
+			// rule as the serial rendezvous truncation below.
 			rop.req.complete(st, err)
-		} else {
+			w.part.ctsBack(msg, false, 0)
+		case msg.eager:
+			rop.req.complete(st, err)
+		default:
 			msg.req.complete(Status{}, nil)
 			rop.req.complete(st, err)
 		}
@@ -90,6 +113,33 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 			msg.payload = nil
 		}
 		w.observe(delivered(now))
+		if msg.xArrived || msg.xRndv {
+			w.putMsg(msg)
+		}
+		w.putRop(rop)
+		return
+	}
+	if msg.xArrived {
+		// Cross-partition eager: the payload arrived with the injected
+		// envelope, so delivery is immediate (the injection instant is never
+		// later than the match instant).
+		copy(rop.buf, msg.payload)
+		bytepool.Put(msg.payload)
+		msg.payload = nil
+		rop.req.complete(st, nil)
+		w.observe(delivered(now))
+		w.putRop(rop)
+		w.putMsg(msg)
+		return
+	}
+	if msg.xRndv {
+		// Cross-partition rendezvous: record where the data phase must land,
+		// then grant the remote sender its clear-to-send. Delivery happens
+		// when the data event arrives (partition.go completeData).
+		w.part.awaitData(msg, rop, st, pd, ud)
+		w.part.ctsBack(msg, true, rseq)
+		w.putRop(rop)
+		w.putMsg(msg)
 		return
 	}
 	if msg.eager {
@@ -117,7 +167,10 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 			}
 			w.observe(delivered(at))
 		})
-		msg.arrived.Chain(req.done)
+		msg.arrived.Chain(req.Done())
+		// The receive op's buffer and request now live in locals and the
+		// closure above; the op itself is done.
+		w.putRop(rop)
 		return
 	}
 	if msg.src == msg.dst {
@@ -131,11 +184,11 @@ func (c *Comm) deliver(msg *message, rop *recvOp) {
 	}
 	// Rendezvous: run the wire transfer now that both sides exist.
 	lat := w.clus.Sys.NIC.WireLatency
-	w.eng.Spawn(fmt.Sprintf("rndv %d->%d", msg.src, msg.dst), func(tp *sim.Proc) {
+	w.eng.SpawnLazy(func() string { return fmt.Sprintf("rndv %d->%d", msg.src, msg.dst) }, func(tp *sim.Proc) {
 		src := w.Endpoint(msg.src)
 		src.wireTransfer(tp, msg.dst, int64(msg.size))
 		w.observe(MsgEvent{Kind: MsgWireDone, Src: msg.src, Dst: msg.dst, Tag: msg.tag,
-			Seq: msg.seq, RecvSeq: rop.seq, Bytes: msg.size, At: tp.Now(),
+			Seq: msg.seq, RecvSeq: rseq, Bytes: msg.size, At: tp.Now(),
 			PostedDepth: pd, UnexpectedDepth: ud})
 		copy(rop.buf, msg.sendBuf)
 		// Sender's buffer is reusable once the NIC is done with it.

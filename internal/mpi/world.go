@@ -20,6 +20,13 @@ type World struct {
 	// newMatch builds the matching core for each communicator. Tests swap it
 	// (before any traffic) to run the legacy linear-scan oracle side by side.
 	newMatch func(size int) matchEngine
+
+	// part is non-nil when this world is one shard of a PartWorld: sends to
+	// non-local ranks route through the cross-partition transport, and
+	// engine-owned transport objects recycle through the pools below.
+	part    *partShard
+	msgPool sim.Pool[message]
+	ropPool sim.Pool[recvOp]
 }
 
 // NewWorld creates a job spanning every node of the cluster.
@@ -33,11 +40,61 @@ func NewWorld(c *cluster.Cluster) *World {
 // Size reports the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// nextSeq advances the world's message-sequence counter. A multi-shard
+// partitioned world strides the per-shard counter by the shard count with
+// the shard index as offset, so sequence numbers stay globally unique and
+// per-shard monotonic; serial worlds and 1-partition worlds degenerate to
+// the plain counter exactly.
+func (w *World) nextSeq() uint64 {
+	w.seq++
+	if ps := w.part; ps != nil && ps.parts() > 1 {
+		return w.seq*uint64(ps.parts()) + uint64(ps.idx)
+	}
+	return w.seq
+}
+
+// getMsg returns a message, recycled in partitioned worlds.
+func (w *World) getMsg() *message {
+	if w.part != nil {
+		return w.msgPool.Get()
+	}
+	return &message{}
+}
+
+// putMsg recycles an engine-owned message in partitioned worlds. The caller
+// must guarantee no reference survives (unlinked from the matcher, payload
+// released, no pending trigger callbacks).
+func (w *World) putMsg(m *message) {
+	if w.part != nil {
+		w.msgPool.Put(m)
+	}
+}
+
+// getRop returns a receive op, recycled in partitioned worlds.
+func (w *World) getRop() *recvOp {
+	if w.part != nil {
+		return w.ropPool.Get()
+	}
+	return &recvOp{}
+}
+
+// putRop recycles a receive op in partitioned worlds; same ownership
+// contract as putMsg.
+func (w *World) putRop(r *recvOp) {
+	if w.part != nil {
+		w.ropPool.Put(r)
+	}
+}
+
 // Comm returns the world communicator.
 func (w *World) Comm() *Comm { return w.world }
 
 // Engine returns the simulation engine.
 func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Cluster returns the modelled cluster the world runs on (a partial cluster
+// for one shard of a partitioned world).
+func (w *World) Cluster() *cluster.Cluster { return w.clus }
 
 // Node returns the cluster node hosting the given rank.
 func (w *World) Node(rank int) *cluster.Node { return w.clus.Nodes[rank] }
@@ -161,9 +218,16 @@ func (ep *Endpoint) Node() *cluster.Node { return ep.world.Node(ep.rank) }
 // LaunchRanks spawns one host-thread process per rank running body, the
 // standard SPMD entry point: body(p, ep) is rank ep.Rank()'s main.
 func (w *World) LaunchRanks(name string, body func(p *sim.Proc, ep *Endpoint)) {
-	for r := 0; r < w.size; r++ {
+	lo, hi := 0, w.size
+	if ps := w.part; ps != nil {
+		lo, hi = ps.lo, ps.hi
+	}
+	for r := lo; r < hi; r++ {
 		ep := w.Endpoint(r)
-		w.eng.Spawn(fmt.Sprintf("%s.rank%d", name, r), func(p *sim.Proc) { body(p, ep) })
+		// The name is diagnostic only (deadlock reports, traces): format it
+		// lazily so a 100k-rank launch does not pay 100k fmt.Sprintf calls.
+		w.eng.SpawnLazy(func() string { return fmt.Sprintf("%s.rank%d", name, ep.rank) },
+			func(p *sim.Proc) { body(p, ep) })
 	}
 }
 

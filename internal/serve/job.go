@@ -64,6 +64,16 @@ type JobSpec struct {
 	Size string `json:"size,omitempty"`
 	// Iters is the himeno iteration count (default 2, max 64).
 	Iters int `json:"iters,omitempty"`
+	// Ranks is the matchscale rank-count grid (workload "matchscale"
+	// measures the MPI matching engine's large-world scaling, one point per
+	// rank count). Default: 256, 1024, 4096.
+	Ranks []int `json:"ranks,omitempty"`
+	// ParallelWorld runs each matchscale point on a partitioned engine with
+	// this many partitions and host workers (0 or 1 = the serial engine).
+	// Such a point occupies ParallelWorld worker-pool slots while it runs,
+	// so a job of host-parallel points still respects the daemon's
+	// configured pool width.
+	ParallelWorld int `json:"parallel_world,omitempty"`
 }
 
 // PointResult is one finished grid point. The p2p and himeno fields are
@@ -77,6 +87,15 @@ type PointResult struct {
 	Impl   string  `json:"impl,omitempty"`
 	Nodes  int     `json:"nodes,omitempty"`
 	GFLOPS float64 `json:"gflops,omitempty"`
+
+	// Matchscale fields. SimMS and Windows are deterministic (virtual time
+	// and window count do not depend on host parallelism), so matchscale
+	// results stay byte-stable and cacheable; host wall-clock is
+	// deliberately excluded.
+	Ranks    int     `json:"ranks,omitempty"`
+	Messages int     `json:"messages,omitempty"`
+	SimMS    float64 `json:"sim_ms,omitempty"`
+	Windows  uint64  `json:"windows,omitempty"`
 }
 
 // Result is the canonical serialized form of a finished job: the normalized
@@ -110,6 +129,11 @@ func Normalize(spec JobSpec) (JobSpec, error) {
 	}
 	if n.Workload == "" {
 		n.Workload = "p2p"
+	}
+	if n.Workload != "matchscale" {
+		if len(n.Ranks) > 0 || n.ParallelWorld != 0 {
+			return JobSpec{}, fmt.Errorf("serve: %s job carries matchscale fields (ranks/parallel_world)", n.Workload)
+		}
 	}
 	switch n.Workload {
 	case "p2p":
@@ -178,8 +202,29 @@ func Normalize(spec JobSpec) (JobSpec, error) {
 		if n.Iters < 0 || n.Iters > 64 {
 			return JobSpec{}, fmt.Errorf("serve: iters %d out of range [1, 64]", n.Iters)
 		}
+	case "matchscale":
+		if len(n.Strategies) > 0 || len(n.Sizes) > 0 || len(n.Impls) > 0 ||
+			len(n.Nodes) > 0 || n.Size != "" || n.Iters != 0 {
+			return JobSpec{}, fmt.Errorf("serve: matchscale job carries p2p/himeno fields")
+		}
+		if len(n.Ranks) == 0 {
+			n.Ranks = []int{256, 1024, 4096}
+		}
+		for _, r := range n.Ranks {
+			if r < 2 || r > 100000 {
+				return JobSpec{}, fmt.Errorf("serve: rank count %d out of range [2, 100000]", r)
+			}
+		}
+		if n.ParallelWorld < 0 || n.ParallelWorld > 64 {
+			return JobSpec{}, fmt.Errorf("serve: parallel_world %d out of range [0, 64]", n.ParallelWorld)
+		}
+		if n.ParallelWorld == 1 {
+			// One partition is the serial engine; canonicalize so the two
+			// spellings content-address the same cache entry.
+			n.ParallelWorld = 0
+		}
 	default:
-		return JobSpec{}, fmt.Errorf("serve: unknown workload %q (want p2p or himeno)", spec.Workload)
+		return JobSpec{}, fmt.Errorf("serve: unknown workload %q (want p2p, himeno, or matchscale)", spec.Workload)
 	}
 	if pts := n.NumPoints(); pts == 0 || pts > maxJobPoints {
 		return JobSpec{}, fmt.Errorf("serve: job expands to %d points (want 1..%d)", pts, maxJobPoints)
@@ -189,10 +234,23 @@ func Normalize(spec JobSpec) (JobSpec, error) {
 
 // NumPoints reports how many grid points a normalized spec expands to.
 func (s JobSpec) NumPoints() int {
-	if s.Workload == "himeno" {
+	switch s.Workload {
+	case "himeno":
 		return len(s.Impls) * len(s.Nodes)
+	case "matchscale":
+		return len(s.Ranks)
 	}
 	return len(s.Strategies) * len(s.Sizes)
+}
+
+// slotWeight reports how many worker-pool slots one point of this spec
+// occupies while running: ParallelWorld for a partitioned matchscale point,
+// else one.
+func (s JobSpec) slotWeight() int {
+	if s.ParallelWorld > 1 {
+		return s.ParallelWorld
+	}
+	return 1
 }
 
 // RunPoint simulates grid point i of a normalized spec. The grid is flat,
@@ -200,6 +258,15 @@ func (s JobSpec) NumPoints() int {
 // nodes) — the row order a serial nested loop would produce.
 func RunPoint(spec JobSpec, i int) (PointResult, error) {
 	sys := cluster.Systems()[spec.System]
+	if spec.Workload == "matchscale" {
+		ranks := spec.Ranks[i]
+		pw := spec.ParallelWorld
+		pt, err := bench.MatchScalePoint(sys, ranks, 8, 25, 1, pw, pw)
+		if err != nil {
+			return PointResult{}, fmt.Errorf("serve: matchscale ranks=%d: %w", ranks, err)
+		}
+		return PointResult{Ranks: ranks, Messages: pt.Messages, SimMS: pt.SimMS, Windows: pt.Windows}, nil
+	}
 	if spec.Workload == "himeno" {
 		implName, nodes := spec.Impls[i/len(spec.Nodes)], spec.Nodes[i%len(spec.Nodes)]
 		impl, err := himeno.ParseImpl(implName)

@@ -44,6 +44,11 @@ type Options struct {
 	// CacheDir, when non-empty, persists results to disk so they survive
 	// eviction and restarts.
 	CacheDir string
+	// ParallelWorld, when > 1, is applied to submitted matchscale jobs that
+	// did not choose a parallel_world themselves, before normalization — so
+	// the default is part of the job's canonical spec and content address,
+	// and two daemons with different defaults never alias cache entries.
+	ParallelWorld int
 }
 
 // PointEvent is one per-point progress notification: points complete in
@@ -76,6 +81,57 @@ type Job struct {
 	finished  time.Time
 }
 
+// slotSem is a weighted counting semaphore over the worker pool: a
+// partitioned point claims as many slots as it drives goroutine-partitions,
+// and the claim is atomic — all n slots or none — so two multi-slot jobs
+// can never deadlock holding partial claims the other is waiting for.
+type slotSem struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newSlotSem(n int) *slotSem {
+	s := &slotSem{free: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until n slots are simultaneously free and takes them, or
+// returns ctx's error once it is done. n must not exceed the semaphore's
+// capacity (callers clamp to the pool width).
+func (s *slotSem) acquire(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.free < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.free -= n
+	return nil
+}
+
+// release returns n slots and wakes every waiter (each re-checks its own
+// demand; a single Signal could wake a waiter whose demand still is not
+// met while a satisfiable one sleeps).
+func (s *slotSem) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
 // Manager owns the worker pool, the job table, the result cache, and the
 // service's observability surface (a metrics registry and a trace bus of
 // per-job spans in wall time since start).
@@ -83,7 +139,7 @@ type Manager struct {
 	opts  Options
 	cache *Cache
 	met   *metrics
-	sem   chan struct{}
+	sem   *slotSem
 	start time.Time
 
 	busMu sync.Mutex
@@ -121,7 +177,7 @@ func NewManager(opts Options) (*Manager, error) {
 		opts:     opts,
 		cache:    cache,
 		met:      newMetrics(),
-		sem:      make(chan struct{}, opts.Workers),
+		sem:      newSlotSem(opts.Workers),
 		start:    time.Now(),
 		bus:      trace.NewBus(),
 		jobs:     make(map[string]*Job),
@@ -137,6 +193,9 @@ func (m *Manager) Workers() int { return m.opts.Workers }
 // a runner goroutine that shards the grid into the pool. The returned job is
 // safe to poll, subscribe to, wait on, and cancel.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if spec.Workload == "matchscale" && spec.ParallelWorld == 0 && m.opts.ParallelWorld > 1 {
+		spec.ParallelWorld = m.opts.ParallelWorld
+	}
 	norm, err := Normalize(spec)
 	if err != nil {
 		return nil, err
@@ -187,7 +246,19 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 
 // run executes a job's grid through the shared pool and finishes the job.
 func (m *Manager) run(ctx context.Context, job *Job) {
-	width := m.opts.Workers
+	// A partitioned point drives slotWeight goroutines, so it claims that
+	// many pool slots and the job's own point fan-out shrinks to keep
+	// points-in-flight x weight within the pool — the same arithmetic as
+	// sweep.MapWeighted, with the clamp below as the unavoidable floor when
+	// one point is wider than the whole pool.
+	weight := job.Spec.slotWeight()
+	if weight > m.opts.Workers {
+		weight = m.opts.Workers
+	}
+	width := m.opts.Workers / weight
+	if width < 1 {
+		width = 1
+	}
 	if width > job.NPoints {
 		width = job.NPoints
 	}
@@ -196,15 +267,13 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 			return PointResult{}, ErrCanceled
 		}
 		m.adjustGauges(+1, 0, 0)
-		select {
-		case m.sem <- struct{}{}:
-			m.adjustGauges(-1, +1, 0)
-		case <-ctx.Done():
+		if m.sem.acquire(ctx, weight) != nil {
 			m.adjustGauges(-1, 0, 0)
 			return PointResult{}, ErrCanceled
 		}
+		m.adjustGauges(-1, +1, 0)
 		pr, err := m.runPoint(job.Spec, i)
-		<-m.sem
+		m.sem.release(weight)
 		m.adjustGauges(0, -1, 0)
 		if err != nil {
 			return PointResult{}, err

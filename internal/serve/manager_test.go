@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -202,5 +203,85 @@ func TestSubscribeReplaysAndStreams(t *testing.T) {
 	past, live = job.Subscribe()
 	if len(past) != 3 || live != nil {
 		t.Fatalf("post-finish Subscribe: %d events, live=%v", len(past), live != nil)
+	}
+}
+
+// TestWeightedSlotAccounting: a matchscale job whose points each drive a
+// ParallelWorld-wide partitioned engine claims that many pool slots per
+// point, so the total number of concurrently executing goroutine-partitions
+// never exceeds the configured worker count — the invariant that keeps a
+// daemon full of partitioned jobs from oversubscribing its host.
+func TestWeightedSlotAccounting(t *testing.T) {
+	m, err := NewManager(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var occ, peak, calls atomic.Int64
+	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+		cur := occ.Add(int64(spec.slotWeight()))
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		calls.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		occ.Add(-int64(spec.slotWeight()))
+		return PointResult{Ranks: spec.Ranks[i], SimMS: 1}, nil
+	}
+	job, err := m.Submit(JobSpec{
+		System:        "cichlid",
+		Workload:      "matchscale",
+		Ranks:         []int{2, 3, 4, 5, 6, 7, 8, 9},
+		ParallelWorld: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(job)
+	if st := job.StatusNow(); st != StatusDone {
+		t.Fatalf("status = %s, err = %v", st, job.Err())
+	}
+	if got := calls.Load(); got != 8 {
+		t.Fatalf("ran %d points, want 8", got)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("peak concurrent goroutine-partitions = %d, exceeds the 4-slot pool", p)
+	}
+}
+
+// TestWeightedJobsNoDeadlock: multi-slot claims are atomic, so two jobs
+// whose points each need most of the pool serialize instead of deadlocking
+// on partially acquired slots. A point wider than the whole pool clamps to
+// the pool width (the unavoidable floor) rather than waiting forever.
+func TestWeightedJobsNoDeadlock(t *testing.T) {
+	m, err := NewManager(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+		time.Sleep(time.Millisecond)
+		return PointResult{Ranks: spec.Ranks[i], SimMS: 1}, nil
+	}
+	a, err := m.Submit(JobSpec{System: "cichlid", Workload: "matchscale",
+		Ranks: []int{2, 3, 4}, ParallelWorld: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(JobSpec{System: "cichlid", Workload: "matchscale",
+		Ranks: []int{5, 6, 7}, ParallelWorld: 8}) // wider than the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { m.Wait(a); m.Wait(b); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("weighted jobs deadlocked")
+	}
+	if a.StatusNow() != StatusDone || b.StatusNow() != StatusDone {
+		t.Fatalf("status a=%s b=%s", a.StatusNow(), b.StatusNow())
 	}
 }

@@ -1,0 +1,82 @@
+package sim
+
+// Arena storage for simulation hot paths. Large worlds allocate one object
+// per message/receive on the matching path; in partitioned runs those
+// objects have a fully engine-owned lifecycle, so they can be recycled
+// through a free list instead of churning the garbage collector. Both types
+// are single-shard (single-goroutine) structures: one simulated process runs
+// per shard at a time, so no host locking is needed — never share one
+// across shards.
+
+// Pool is a typed free list. Get returns a zeroed object (fresh or
+// recycled); Put zeroes the object and shelves it for reuse. Unlike
+// sync.Pool it never drops entries and has no locking — it is deterministic
+// and single-shard by construction.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get returns a zeroed *T, reusing a recycled one when available.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put zeroes x and adds it to the free list. The caller must guarantee no
+// other reference to x survives.
+func (p *Pool[T]) Put(x *T) {
+	var zero T
+	*x = zero
+	p.free = append(p.free, x)
+}
+
+// Len reports how many recycled objects are shelved.
+func (p *Pool[T]) Len() int { return len(p.free) }
+
+// Arena is a chunked slab allocator for objects with a common lifetime:
+// Alloc hands out slots, Reset recycles every slot at once while keeping
+// the chunk storage. Windowed drivers use arenas for per-window scratch
+// (allocate during the window, reset at the barrier).
+type Arena[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+// arenaChunk is the slab granularity; large enough to amortize slice
+// headers, small enough not to overshoot tiny arenas.
+const arenaChunk = 256
+
+// Alloc returns a pointer to a zeroed slot valid until the next Reset.
+func (a *Arena[T]) Alloc() *T {
+	ci, off := a.n/arenaChunk, a.n%arenaChunk
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, arenaChunk))
+	}
+	a.n++
+	return &a.chunks[ci][off]
+}
+
+// Len reports the number of live slots.
+func (a *Arena[T]) Len() int { return a.n }
+
+// Reset invalidates every slot, zeroing only the portion that was used, and
+// keeps the chunks for reuse.
+func (a *Arena[T]) Reset() {
+	var zero T
+	for ci := 0; ci*arenaChunk < a.n; ci++ {
+		chunk := a.chunks[ci]
+		used := a.n - ci*arenaChunk
+		if used > arenaChunk {
+			used = arenaChunk
+		}
+		for i := 0; i < used; i++ {
+			chunk[i] = zero
+		}
+	}
+	a.n = 0
+}

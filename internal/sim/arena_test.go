@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+type poolItem struct {
+	a int
+	b []byte
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool[poolItem]
+	x := p.Get()
+	x.a, x.b = 42, []byte("payload")
+	p.Put(x)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after one Put", p.Len())
+	}
+	y := p.Get()
+	if y != x {
+		t.Fatal("Get did not reuse the recycled object")
+	}
+	if y.a != 0 || y.b != nil {
+		t.Fatalf("recycled object not zeroed: %+v", y)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after Get", p.Len())
+	}
+}
+
+func TestArenaAllocResetReuse(t *testing.T) {
+	var a Arena[poolItem]
+	const n = 2*arenaChunk + 17 // force multiple chunks
+	ptrs := make([]*poolItem, n)
+	for i := 0; i < n; i++ {
+		ptrs[i] = a.Alloc()
+		ptrs[i].a = i + 1
+		ptrs[i].b = []byte{byte(i)}
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d, want %d", a.Len(), n)
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", a.Len())
+	}
+	for i := 0; i < n; i++ {
+		p := a.Alloc()
+		if p != ptrs[i] {
+			t.Fatalf("slot %d not reused after Reset", i)
+		}
+		if p.a != 0 || p.b != nil {
+			t.Fatalf("slot %d not zeroed after Reset: %+v", i, p)
+		}
+	}
+}

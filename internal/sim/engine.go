@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +34,22 @@ type Engine struct {
 	err       error
 	done      chan struct{}
 	procs     []*Proc // every process ever spawned, for diagnostics
+
+	// Windowed mode (see RunWindow): the engine executes events strictly
+	// before limit, then parks itself by signalling idle instead of
+	// completing or declaring deadlock. A PartitionedEngine drives many
+	// windowed engines in lockstep windows.
+	windowed bool
+	limit    Time
+	idle     chan struct{}
+
+	// Cross-delivery queue: closures handed over from other partitions,
+	// executed in the resident xdeliver daemon's process context (so they
+	// may use the full blocking API, unlike timer callbacks). Slots are
+	// nilled on pop and the backing array is recycled — a per-window arena.
+	xq    []func(p *Proc)
+	xhead int
+	xproc *Proc // parked xdeliver daemon awaiting work, if any
 }
 
 // procRing is a growable FIFO of processes. Unlike the head-slicing
@@ -86,12 +101,15 @@ func (e *DeadlockError) Error() string {
 // abortPanic unwinds a process goroutine when the simulation is torn down.
 type abortPanic struct{}
 
-// timerEvent wakes a process (or runs a callback) at a future instant.
+// timerEvent wakes a process, fires a trigger, or runs a callback at a
+// future instant.
 type timerEvent struct {
-	at   Time
-	seq  uint64
-	proc *Proc  // woken if non-nil
-	fn   func() // otherwise run with the engine lock held
+	at          Time
+	seq         uint64
+	proc        *Proc    // woken if non-nil
+	trig        *Trigger // else fired with trigPayload if non-nil
+	trigPayload any
+	fn          func() // otherwise run with the engine lock held
 }
 
 // timerBefore reports whether a fires before b (time, then schedule order).
@@ -102,23 +120,62 @@ func timerBefore(a, b timerEvent) bool {
 	return a.seq < b.seq
 }
 
+// timerHeap is a hand-rolled binary min-heap. container/heap would box
+// every timerEvent through an interface on Push and Pop — one allocation per
+// scheduled event, which dominates the allocation profile of large worlds —
+// so the sift operations are written out against the concrete slice.
 type timerHeap []timerEvent
 
-func (h timerHeap) Len() int           { return len(h) }
-func (h timerHeap) Less(i, j int) bool { return timerBefore(h[i], h[j]) }
-func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)        { *h = append(*h, x.(timerEvent)) }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *timerHeap) push(ev timerEvent) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !timerBefore(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *timerHeap) pop() timerEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = timerEvent{} // release the fn closure
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && timerBefore(s[r], s[l]) {
+			m = r
+		}
+		if !timerBefore(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // NewEngine returns an empty simulation.
 func NewEngine() *Engine {
 	return &Engine{done: make(chan struct{})}
+}
+
+// newWindowedEngine returns an engine driven window-by-window via RunWindow
+// rather than to completion via Run. Only PartitionedEngine creates these.
+func newWindowedEngine() *Engine {
+	return &Engine{done: make(chan struct{}), windowed: true, idle: make(chan struct{}, 1)}
 }
 
 // Now reports the current virtual time. It may be called at any point,
@@ -146,13 +203,26 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return e.spawn(name, fn, true)
 }
 
+// SpawnLazy registers a process whose name is computed only when first
+// observed (deadlock reports, CurrentProcName, trace adoption). Paths that
+// spawn one short-lived process per message use this so the common case —
+// the name is never looked at — costs no fmt.Sprintf and no string
+// allocation.
+func (e *Engine) SpawnLazy(nameFn func() string, fn func(p *Proc)) *Proc {
+	return e.spawnProc(&Proc{nameFn: nameFn}, fn, false)
+}
+
 func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	return e.spawnProc(&Proc{name: name}, fn, daemon)
+}
+
+func (e *Engine) spawnProc(p *Proc, fn func(p *Proc), daemon bool) *Proc {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.stopped {
 		panic("sim: Spawn after simulation ended")
 	}
-	p := &Proc{eng: e, name: name, resume: make(chan struct{}, 1), state: stateReady, daemon: daemon}
+	p.eng, p.resume, p.state, p.daemon = e, make(chan struct{}, 1), stateReady, daemon
 	e.alive++
 	if daemon {
 		e.daemons++
@@ -228,9 +298,139 @@ func (e *Engine) CurrentProcName() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.running && e.cur != nil {
-		return e.cur.name
+		return e.cur.Name()
 	}
 	return ""
+}
+
+// runWindow executes every event strictly before limit, then returns once
+// the shard is quiescent at that horizon. Only the partition driver calls
+// this, and only on engines built by newWindowedEngine.
+func (e *Engine) runWindow(limit Time) {
+	e.mu.Lock()
+	select {
+	case <-e.idle: // drop a stale signal from the previous window
+	default:
+	}
+	e.limit = limit
+	e.started = true
+	e.scheduleLocked()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	<-e.idle
+}
+
+// nextEventTime reports the instant of the shard's earliest pending work —
+// a ready process (now) or the earliest timer — and false when the shard is
+// fully quiescent. The partition driver uses the global minimum across
+// shards as the base of the next conservative window.
+func (e *Engine) nextEventTime() (Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ready.len() > 0 {
+		return e.now, true
+	}
+	if e.nextValid {
+		return e.nextTimer.at, true
+	}
+	if len(e.timers) > 0 {
+		return e.timers[0].at, true
+	}
+	return 0, false
+}
+
+// scheduleFnAt schedules fn to run in scheduler context at absolute instant
+// t (clamped to now). The partition driver injects cross-partition arrivals
+// with it between windows.
+func (e *Engine) scheduleFnAt(t Time, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.atLocked(t, fn)
+}
+
+// shutdown tears the simulation down (normally when err is nil) and waits
+// for every process goroutine to unwind. Idempotent; used by the partition
+// driver, which owns the completion decision in windowed mode.
+func (e *Engine) shutdown(err error) {
+	e.mu.Lock()
+	if !e.stopped {
+		e.abortLocked(err)
+	}
+	e.mu.Unlock()
+	<-e.done
+}
+
+// aliveNonDaemons reports how many non-daemon processes have not finished.
+func (e *Engine) aliveNonDaemons() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alive - e.daemons
+}
+
+// blockedLocked formats the parked non-daemon processes exactly as a serial
+// deadlock report does, sorted. Callers must hold e.mu.
+func (e *Engine) blockedLocked() []string {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == stateParked && !p.daemon {
+			label := p.waitLabel
+			if label == "" && p.waitLblr != nil {
+				label = p.waitLblr.WaitLabel()
+			}
+			if label == "" {
+				label = "unknown"
+			}
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name(), label))
+		}
+	}
+	sort.Strings(blocked)
+	return blocked
+}
+
+// blocked snapshots the parked non-daemon processes for a merged deadlock
+// report across partitions.
+func (e *Engine) blocked() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.blockedLocked()
+}
+
+// pushCross appends a cross-delivery closure and wakes the shard's xdeliver
+// daemon if it is parked waiting for work. Runs in scheduler context (called
+// from a scheduleFnAt timer), so it must not block.
+func (e *Engine) pushCrossLocked(fn func(p *Proc)) {
+	e.xq = append(e.xq, fn)
+	if e.xproc != nil {
+		p := e.xproc
+		e.xproc = nil
+		e.wakeLocked(p)
+	}
+}
+
+// nextCross pops the next cross-delivery closure, parking p (the xdeliver
+// daemon) until one arrives. The queue's backing array is recycled whenever
+// it drains — per-window arena behavior.
+func (e *Engine) nextCross(p *Proc) func(p *Proc) {
+	e.mu.Lock()
+	for e.xhead == len(e.xq) {
+		e.xq, e.xhead = e.xq[:0], 0
+		e.xproc = p
+		e.park(p, "xdeliver")
+	}
+	fn := e.xq[e.xhead]
+	e.xq[e.xhead] = nil
+	e.xhead++
+	e.mu.Unlock()
+	return fn
 }
 
 // Err reports the simulation outcome after Run has returned.
@@ -269,6 +469,14 @@ func (e *Engine) atProcLocked(t Time, p *Proc) {
 	e.pushTimerLocked(timerEvent{at: t, seq: e.seq, proc: p})
 }
 
+// atTriggerLocked schedules trigger tr to fire with payload at instant t.
+// A dedicated timer kind rather than a closure over atLocked: FireAfter is
+// the per-message hot path and the closure would be one allocation each.
+func (e *Engine) atTriggerLocked(t Time, tr *Trigger, payload any) {
+	e.seq++
+	e.pushTimerLocked(timerEvent{at: t, seq: e.seq, trig: tr, trigPayload: payload})
+}
+
 // pushTimerLocked inserts a timer, keeping the earliest event in the
 // nextTimer cache. A simulation whose scheduling steps each have at most one
 // pending timer — the dominant pattern for Sleep-driven process loops —
@@ -277,21 +485,34 @@ func (e *Engine) pushTimerLocked(ev timerEvent) {
 	switch {
 	case e.nextValid:
 		if timerBefore(ev, e.nextTimer) {
-			heap.Push(&e.timers, e.nextTimer)
+			e.timers.push(e.nextTimer)
 			e.nextTimer = ev
 		} else {
-			heap.Push(&e.timers, ev)
+			e.timers.push(ev)
 		}
 	case len(e.timers) == 0 || timerBefore(ev, e.timers[0]):
 		e.nextTimer, e.nextValid = ev, true
 	default:
-		heap.Push(&e.timers, ev)
+		e.timers.push(ev)
 	}
 }
 
 // havePendingTimerLocked reports whether any timer is pending.
 func (e *Engine) havePendingTimerLocked() bool {
 	return e.nextValid || len(e.timers) > 0
+}
+
+// timerDueLocked reports whether the earliest pending timer is allowed to
+// fire: any pending timer in normal mode, only timers strictly before the
+// window limit in windowed mode.
+func (e *Engine) timerDueLocked() bool {
+	if e.nextValid {
+		return !e.windowed || e.nextTimer.at < e.limit
+	}
+	if len(e.timers) == 0 {
+		return false
+	}
+	return !e.windowed || e.timers[0].at < e.limit
 }
 
 // timerAtNowLocked reports whether the earliest pending timer would fire at
@@ -311,7 +532,7 @@ func (e *Engine) popTimerLocked() timerEvent {
 		e.nextTimer = timerEvent{}
 		return ev
 	}
-	return heap.Pop(&e.timers).(timerEvent)
+	return e.timers.pop()
 }
 
 // After schedules fn to run after duration d of virtual time. fn executes in
@@ -334,10 +555,11 @@ func (e *Engine) After(d time.Duration, fn func()) {
 // Callers must hold e.mu.
 func (e *Engine) wakeLocked(p *Proc) {
 	if p.state != stateParked {
-		panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
+		panic(fmt.Sprintf("sim: wake of process %q in state %v", p.Name(), p.state))
 	}
 	p.state = stateReady
 	p.waitLabel = ""
+	p.waitLblr = nil
 	e.ready.push(p)
 }
 
@@ -356,18 +578,31 @@ func (e *Engine) scheduleLocked() {
 			p.resume <- struct{}{}
 			return
 		}
-		if e.havePendingTimerLocked() {
+		if e.timerDueLocked() {
 			ev := e.popTimerLocked()
 			if ev.at < e.now {
 				panic("sim: timer in the past")
 			}
 			e.now = ev.at
-			if ev.proc != nil {
+			switch {
+			case ev.proc != nil:
 				e.wakeLocked(ev.proc)
-			} else {
+			case ev.trig != nil:
+				ev.trig.fireLocked(e.now, ev.trigPayload)
+			default:
 				ev.fn() // may append to e.ready or push timers
 			}
 			continue
+		}
+		if e.windowed {
+			// Window exhausted (or nothing runnable before limit): hand
+			// control back to the partition driver. Completion and deadlock
+			// are global properties only the driver can decide.
+			select {
+			case e.idle <- struct{}{}:
+			default:
+			}
+			return
 		}
 		if e.alive == 0 {
 			e.stopped = true
@@ -381,18 +616,7 @@ func (e *Engine) scheduleLocked() {
 			return
 		}
 		// Processes remain but nothing can wake them: deadlock.
-		var blocked []string
-		for _, p := range e.procs {
-			if p.state == stateParked && !p.daemon {
-				label := p.waitLabel
-				if label == "" {
-					label = "unknown"
-				}
-				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, label))
-			}
-		}
-		sort.Strings(blocked)
-		e.abortLocked(&DeadlockError{Time: e.now, Blocked: blocked})
+		e.abortLocked(&DeadlockError{Time: e.now, Blocked: e.blockedLocked()})
 		return
 	}
 }

@@ -167,6 +167,7 @@ func TestYieldSlowPathWithPendingSameInstantTimer(t *testing.T) {
 
 // BenchmarkYieldFastPath measures the zero-duration run-to-completion path.
 func BenchmarkYieldFastPath(b *testing.B) {
+	b.ReportAllocs()
 	eng := NewEngine()
 	eng.Spawn("spin", func(p *Proc) {
 		for i := 0; i < b.N; i++ {

@@ -43,6 +43,10 @@ type TaggedLinkObserver interface {
 // SetObserver installs an occupancy observer (nil to remove).
 func (l *Link) SetObserver(o LinkObserver) { l.obs = o }
 
+// Observed reports whether an observer is installed, so callers can skip
+// building charge metadata (process-name strings) that nothing would see.
+func (l *Link) Observed() bool { return l.obs != nil }
+
 // NewLink creates a link with the given bandwidth in bytes per second.
 func NewLink(e *Engine, name string, bytesPerSecond float64) *Link {
 	if bytesPerSecond < 0 {

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Partitioned parallel execution: one simulation split into K shards, each a
+// windowed Engine running its own event loop, synchronized by a conservative
+// window protocol. The lookahead comes from the modelled hardware — a
+// cross-shard interaction (an MPI message crossing a partition boundary)
+// cannot take effect earlier than the fabric's wire latency after it is
+// initiated — so all shards may execute the window [T, T+lookahead) in
+// parallel without coordination: every event one shard could inject into
+// another lands at or beyond the window horizon.
+//
+// Windows are driven in lockstep:
+//
+//	T  := min over shards of next-event time (global virtual-time floor)
+//	H  := T + lookahead
+//	run every shard up to (but excluding) H, in parallel
+//	drain cross-shard events (deterministically ordered) into target shards
+//
+// Because the windows are causally independent, each shard's execution is a
+// deterministic function of its own event set — the worker count changes
+// wall-clock time only, never the event streams. A zero lookahead disables
+// the independence argument, so the driver falls back to serial semantics:
+// one event instant per window, shards executed in index order on the
+// caller's goroutine.
+
+// PartitionedEngine coordinates K windowed shard engines.
+type PartitionedEngine struct {
+	shards    []*Engine
+	lookahead Time
+	horizon   Time // current window's upper bound, for lookahead violation checks
+
+	// inbox[from*K+to] collects cross events emitted by shard `from` for
+	// shard `to` during the current window. Each row is written by exactly
+	// one shard, so no locking is needed while a window runs; rows and the
+	// merge scratch are recycled every window (arena-style).
+	inbox   [][]crossEvent
+	seqs    []uint64 // per-source cross-event counters, for tie-breaking
+	scratch []crossEvent
+
+	started bool
+	windows uint64
+	err     error
+}
+
+// crossEvent is one deferred cross-shard interaction. fn runs in the target
+// shard's resident xdeliver daemon — real process context, so it may use the
+// non-blocking simulation APIs (fire triggers, put to queues, spawn) but
+// must not park.
+type crossEvent struct {
+	at  Time
+	src int32
+	seq uint64
+	fn  func(p *Proc)
+}
+
+// NewPartitionedEngine creates parts windowed shard engines with the given
+// conservative lookahead. A lookahead of zero is legal and falls back to
+// serial window semantics (see Run).
+func NewPartitionedEngine(parts int, lookahead time.Duration) *PartitionedEngine {
+	if parts < 1 {
+		panic("sim: partitioned engine needs at least one partition")
+	}
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	pe := &PartitionedEngine{
+		lookahead: Time(lookahead),
+		shards:    make([]*Engine, parts),
+		inbox:     make([][]crossEvent, parts*parts),
+		seqs:      make([]uint64, parts),
+	}
+	for i := range pe.shards {
+		e := newWindowedEngine()
+		e.SpawnDaemon("xdeliver", func(p *Proc) {
+			for {
+				e.nextCross(p)(p)
+			}
+		})
+		pe.shards[i] = e
+	}
+	return pe
+}
+
+// Parts reports the number of partitions.
+func (pe *PartitionedEngine) Parts() int { return len(pe.shards) }
+
+// Shard returns partition i's engine; simulation layers spawn processes and
+// build modelled hardware on it exactly as on a serial engine.
+func (pe *PartitionedEngine) Shard(i int) *Engine { return pe.shards[i] }
+
+// Lookahead reports the conservative window width.
+func (pe *PartitionedEngine) Lookahead() time.Duration { return time.Duration(pe.lookahead) }
+
+// Windows reports how many synchronization windows have been driven.
+func (pe *PartitionedEngine) Windows() uint64 { return pe.windows }
+
+// Now reports the frontier virtual time: the maximum across shard clocks.
+// After Run returns it is the simulation's end time.
+func (pe *PartitionedEngine) Now() Time {
+	var t Time
+	for _, s := range pe.shards {
+		if n := s.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Err reports the simulation outcome after Run has returned.
+func (pe *PartitionedEngine) Err() error { return pe.err }
+
+// Cross schedules fn on shard `to` at virtual instant `at`, tagged as
+// originating from shard `from`. It must be called from simulation context
+// on shard `from` (or during setup, before Run). With a positive lookahead,
+// at must lie at or beyond the current window horizon — the conservative
+// protocol's correctness condition — and the driver panics otherwise.
+func (pe *PartitionedEngine) Cross(from, to int, at Time, fn func(p *Proc)) {
+	if pe.lookahead > 0 && at < pe.horizon {
+		panic(fmt.Sprintf("sim: cross-partition event at %v violates window horizon %v (lookahead %v)",
+			at, pe.horizon, time.Duration(pe.lookahead)))
+	}
+	pe.seqs[from]++
+	k := len(pe.shards)
+	pe.inbox[from*k+to] = append(pe.inbox[from*k+to], crossEvent{
+		at: at, src: int32(from), seq: pe.seqs[from], fn: fn,
+	})
+}
+
+// Run drives the simulation to completion on up to `workers` host cores
+// (workers <= 0 means one per partition) and returns nil on normal
+// completion or a merged *DeadlockError when no shard can make progress.
+// With zero lookahead the worker count is forced to one: windows shrink to
+// a single event instant and shards execute in index order, which is the
+// serial-semantics fallback.
+func (pe *PartitionedEngine) Run(workers int) error {
+	if pe.started {
+		panic("sim: PartitionedEngine.Run called twice")
+	}
+	pe.started = true
+	if workers <= 0 {
+		workers = len(pe.shards)
+	}
+	if pe.lookahead <= 0 {
+		workers = 1
+	}
+	for {
+		pe.drain()
+		var t Time
+		any := false
+		for _, s := range pe.shards {
+			if n, ok := s.nextEventTime(); ok && (!any || n < t) {
+				t, any = n, true
+			}
+		}
+		if !any {
+			alive := 0
+			for _, s := range pe.shards {
+				alive += s.aliveNonDaemons()
+			}
+			if alive == 0 {
+				pe.shutdown(nil)
+				return nil
+			}
+			var blocked []string
+			for _, s := range pe.shards {
+				blocked = append(blocked, s.blocked()...)
+			}
+			sort.Strings(blocked)
+			err := &DeadlockError{Time: pe.Now(), Blocked: blocked}
+			pe.shutdown(err)
+			return err
+		}
+		h := t + 1
+		if pe.lookahead > 0 {
+			h = t + pe.lookahead
+		}
+		pe.horizon = h
+		pe.windows++
+		pe.runWindow(h, workers)
+	}
+}
+
+// runWindow executes every shard up to the window limit. Shards are claimed
+// from an atomic counter by `workers` goroutines; one worker degenerates to
+// an in-order loop on the caller — the serial reference execution.
+func (pe *PartitionedEngine) runWindow(limit Time, workers int) {
+	if workers > len(pe.shards) {
+		workers = len(pe.shards)
+	}
+	if workers <= 1 {
+		for _, s := range pe.shards {
+			s.runWindow(limit)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(pe.shards) {
+					return
+				}
+				pe.shards[n].runWindow(limit)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drain merges each target shard's pending cross events — sorted by
+// (time, source shard, source sequence), a total deterministic order — and
+// schedules them as timers that hand the closures to the shard's xdeliver
+// daemon. Inbox rows and the merge scratch are reset for reuse, so the
+// steady state allocates nothing.
+func (pe *PartitionedEngine) drain() {
+	k := len(pe.shards)
+	for to := 0; to < k; to++ {
+		evs := pe.scratch[:0]
+		for from := 0; from < k; from++ {
+			row := pe.inbox[from*k+to]
+			evs = append(evs, row...)
+			for i := range row {
+				row[i].fn = nil
+			}
+			pe.inbox[from*k+to] = row[:0]
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			a, b := evs[i], evs[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		tgt := pe.shards[to]
+		for _, ev := range evs {
+			fn := ev.fn
+			tgt.scheduleFnAt(ev.at, func() { tgt.pushCrossLocked(fn) })
+		}
+		for i := range evs {
+			evs[i].fn = nil
+		}
+		pe.scratch = evs[:0]
+	}
+}
+
+// shutdown tears every shard down and records the outcome.
+func (pe *PartitionedEngine) shutdown(err error) {
+	pe.err = err
+	for _, s := range pe.shards {
+		s.shutdown(err)
+	}
+}

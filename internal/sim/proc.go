@@ -30,20 +30,37 @@ func (s procState) String() string {
 	}
 }
 
+// Labeler supplies a wait label on demand. Primitives whose labels embed
+// formatted identity (request triggers) implement it so the label string is
+// only built if a deadlock report actually needs it.
+type Labeler interface {
+	WaitLabel() string
+}
+
 // Proc is the handle a simulated process uses to interact with virtual time.
 // A Proc is only valid inside the process function it was passed to; sharing
 // it with another process is a bug.
 type Proc struct {
 	eng       *Engine
 	name      string
+	nameFn    func() string // lazy name (SpawnLazy); resolved on first Name
 	resume    chan struct{}
 	state     procState
 	daemon    bool
-	waitLabel string // what the process is blocked on, for deadlock reports
+	waitLabel string  // what the process is blocked on, for deadlock reports
+	waitLblr  Labeler // lazy fallback when waitLabel is empty
 }
 
-// Name reports the name given at Spawn.
-func (p *Proc) Name() string { return p.name }
+// Name reports the name given at Spawn, resolving a lazy name on first use.
+// Safe wherever p is observable: either the process itself calls it, or the
+// scheduler does while no process is executing.
+func (p *Proc) Name() string {
+	if p.name == "" && p.nameFn != nil {
+		p.name = p.nameFn()
+		p.nameFn = nil
+	}
+	return p.name
+}
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }

@@ -10,23 +10,63 @@ import "time"
 //
 // A Trigger may carry an arbitrary payload set at Fire time, so it doubles
 // as a single-assignment future.
+//
+// The hot paths are allocation-conscious: the deadlock label is formatted
+// only when a report needs it, the first waiter and the first callback live
+// in inline slots (almost every trigger has at most one of each), and a
+// zero Trigger can be readied in place with Init/InitLazy so owners can
+// embed it instead of allocating separately.
 type Trigger struct {
-	eng       *Engine
-	label     string
-	waitLabel string
-	fired     bool
-	firedAt   Time
-	payload   any
-	waiters   []*Proc
+	eng     *Engine
+	label   string
+	lblr    Labeler // lazy label source when label is empty
+	fired   bool
+	firedAt Time
+	payload any
+	w0      *Proc   // first waiter
+	waiters []*Proc // overflow waiters
 	// callbacks run in scheduler context when the trigger fires; they must
 	// not block. Used for OpenCL-style event callbacks and event chaining.
+	cb0       func(at Time, payload any)
 	callbacks []func(at Time, payload any)
 }
 
 // NewTrigger creates an unfired trigger. The label appears in deadlock
 // reports of processes blocked on it.
 func NewTrigger(e *Engine, label string) *Trigger {
-	return &Trigger{eng: e, label: label, waitLabel: "trigger " + label}
+	t := &Trigger{}
+	t.Init(e, label)
+	return t
+}
+
+// NewTriggerLazy creates an unfired trigger whose deadlock label is supplied
+// by l only if a report needs it, so per-message triggers never pay string
+// formatting on the happy path.
+func NewTriggerLazy(e *Engine, l Labeler) *Trigger {
+	t := &Trigger{}
+	t.InitLazy(e, l)
+	return t
+}
+
+// Init readies a zero Trigger in place, for owners that embed one in a
+// larger allocation. It must be called before any other method, and the
+// trigger must not be copied afterwards.
+func (t *Trigger) Init(e *Engine, label string) {
+	t.eng, t.label = e, label
+}
+
+// InitLazy is Init with a lazily formatted deadlock label.
+func (t *Trigger) InitLazy(e *Engine, l Labeler) {
+	t.eng, t.lblr = e, l
+}
+
+// WaitLabel implements Labeler: the deadlock-report annotation of a process
+// blocked on this trigger.
+func (t *Trigger) WaitLabel() string {
+	if t.lblr != nil {
+		return t.lblr.WaitLabel()
+	}
+	return "trigger " + t.label
 }
 
 // Fired reports whether the trigger has fired.
@@ -68,7 +108,7 @@ func (t *Trigger) FireAfter(d time.Duration, payload any) {
 	if e.stopped || t.fired {
 		return
 	}
-	e.atLocked(e.now.Add(d), func() { t.fireLocked(e.now, payload) })
+	e.atTriggerLocked(e.now.Add(d), t, payload)
 }
 
 // fireLocked performs the completion. Callers must hold t.eng.mu.
@@ -79,12 +119,20 @@ func (t *Trigger) fireLocked(at Time, payload any) {
 	t.fired = true
 	t.firedAt = at
 	t.payload = payload
+	if p := t.w0; p != nil {
+		t.w0 = nil
+		t.eng.wakeLocked(p)
+	}
 	for _, p := range t.waiters {
 		t.eng.wakeLocked(p)
 	}
 	t.waiters = nil
+	cb := t.cb0
 	cbs := t.callbacks
-	t.callbacks = nil
+	t.cb0, t.callbacks = nil, nil
+	if cb != nil {
+		cb(at, payload)
+	}
 	for _, cb := range cbs {
 		cb(at, payload)
 	}
@@ -99,8 +147,13 @@ func (t *Trigger) Wait(p *Proc) any {
 		e.mu.Unlock()
 		return pl
 	}
-	t.waiters = append(t.waiters, p)
-	e.park(p, t.waitLabel)
+	if t.w0 == nil && len(t.waiters) == 0 {
+		t.w0 = p
+	} else {
+		t.waiters = append(t.waiters, p)
+	}
+	p.waitLblr = t
+	e.park(p, "")
 	pl := t.payload
 	e.mu.Unlock()
 	return pl
@@ -119,7 +172,11 @@ func (t *Trigger) OnFire(fn func(at Time, payload any)) {
 		fn(t.firedAt, t.payload)
 		return
 	}
-	t.callbacks = append(t.callbacks, fn)
+	if t.cb0 == nil && len(t.callbacks) == 0 {
+		t.cb0 = fn
+	} else {
+		t.callbacks = append(t.callbacks, fn)
+	}
 }
 
 // Chain arranges for other to fire (with the same payload) at the instant t
@@ -132,9 +189,14 @@ func (t *Trigger) Chain(other *Trigger) {
 		other.fireLocked(e.now, t.payload)
 		return
 	}
-	t.callbacks = append(t.callbacks, func(at Time, payload any) {
+	fn := func(at Time, payload any) {
 		other.fireLocked(at, payload)
-	})
+	}
+	if t.cb0 == nil && len(t.callbacks) == 0 {
+		t.cb0 = fn
+	} else {
+		t.callbacks = append(t.callbacks, fn)
+	}
 }
 
 // WaitAll blocks p until every trigger in ts has fired. A nil slice returns

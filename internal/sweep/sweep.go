@@ -121,3 +121,21 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// MapWeighted is Map for points that are themselves host-parallel: each
+// point drives `weight` goroutines of its own (a partitioned engine's
+// workers), so it must claim `weight` of the pool's slots, not one. The
+// pool width shrinks to Workers()/weight points in flight (at least one),
+// keeping the total number of concurrently executing goroutine-partitions
+// within the configured width — except for the unavoidable floor when a
+// single point is wider than the whole pool. weight <= 1 is plain Map.
+func MapWeighted[T any](weight, n int, fn func(i int) (T, error)) ([]T, error) {
+	if weight <= 1 {
+		return Map(n, fn)
+	}
+	w := Workers() / weight
+	if w < 1 {
+		w = 1
+	}
+	return MapN(w, n, fn)
+}

@@ -126,3 +126,60 @@ func TestEach(t *testing.T) {
 		t.Fatalf("sum = %d", sum.Load())
 	}
 }
+
+// TestMapWeightedBoundedConcurrency: weight-w points claim w of the pool's
+// slots, so the total weighted occupancy (points in flight x weight — the
+// number of goroutine-partitions a partitioned-engine point would actually
+// be running) stays within the configured width.
+func TestMapWeightedBoundedConcurrency(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	out, err := MapWeighted(2, 40, func(i int) (int, error) {
+		cur := inFlight.Add(2)
+		defer inFlight.Add(-2)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("peak weighted occupancy %d exceeds pool width 4", p)
+	}
+}
+
+// TestMapWeightedWiderThanPool: a point wider than the whole pool still
+// runs — one point at a time, the unavoidable floor.
+func TestMapWeightedWiderThanPool(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := MapWeighted(16, 6, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("points in flight = %d, want strictly serial", p)
+	}
+}

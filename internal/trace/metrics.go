@@ -42,6 +42,25 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[histBuckets]++
 }
 
+// merge folds another histogram's observations into h. The fixed shared
+// bucket layout makes this exact: bucket counts simply add.
+func (h *Histogram) merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.Count == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 // Mean reports the arithmetic mean of all observations (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {
@@ -116,6 +135,29 @@ func (m *Metrics) Observe(name string, v float64) {
 		m.hists[name] = h
 	}
 	h.Observe(v)
+}
+
+// Merge folds another registry into m: counters sum, gauges take the
+// maximum (every gauge in the repository is a utilization or high-water
+// style quantity, for which the cross-partition peak is the meaningful
+// aggregate), and histograms pool their observations.
+func (m *Metrics) Merge(o *Metrics) {
+	for n, v := range o.counters {
+		m.counters[n] += v
+	}
+	for n, v := range o.gauges {
+		if cur, ok := m.gauges[n]; !ok || v > cur {
+			m.gauges[n] = v
+		}
+	}
+	for n, oh := range o.hists {
+		h, ok := m.hists[n]
+		if !ok {
+			h = &Histogram{}
+			m.hists[n] = h
+		}
+		h.merge(oh)
+	}
 }
 
 // Counter reports the named counter's value.
