@@ -432,9 +432,9 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 // serveBurst fires one burst of concurrent jobs at a running service over
 // HTTP (?wait=1, so a request's latency is the job's completion latency) and
 // fails the benchmark on any non-done outcome. Job j of a burst is a
-// distinct one-point p2p sweep, so a cold burst is all cache misses and a
-// repeat of the same burst is all hits.
-func serveBurst(b *testing.B, ts *httptest.Server, jobs int) {
+// distinct one-point sweep (bodyFor builds it), so a cold burst is all cache
+// misses and a repeat of the same burst is all hits.
+func serveBurst(b *testing.B, ts *httptest.Server, jobs int, bodyFor func(j int) string) {
 	b.Helper()
 	var wg sync.WaitGroup
 	errc := make(chan error, jobs)
@@ -442,7 +442,7 @@ func serveBurst(b *testing.B, ts *httptest.Server, jobs int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body := fmt.Sprintf(`{"system":"cichlid","strategies":["pinned"],"sizes":[%d]}`, 64<<10+j*1024)
+			body := bodyFor(j)
 			resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
 			if err != nil {
 				errc <- err
@@ -474,6 +474,17 @@ func serveBurst(b *testing.B, ts *httptest.Server, jobs int) {
 // service overhead — the regime a popular what-if service converges to.
 func BenchmarkServe(b *testing.B) {
 	const burst = 1000
+	p2pBody := func(j int) string {
+		return fmt.Sprintf(`{"system":"cichlid","strategies":["pinned"],"sizes":[%d]}`, 64<<10+j*1024)
+	}
+	// The matchscale cells exercise the modern-regime grid: one-point
+	// matchscale jobs on the Hopper preset (400G NDR fabric), distinct rank
+	// counts per job. Smaller burst — each point is a whole dense-exchange
+	// simulation, not a single p2p transfer.
+	const msBurst = 100
+	msBody := func(j int) string {
+		return fmt.Sprintf(`{"system":"hopper","workload":"matchscale","ranks":[%d]}`, 16+j)
+	}
 	newServer := func(b *testing.B) (*serve.Manager, *httptest.Server) {
 		b.Helper()
 		mgr, err := serve.NewManager(serve.Options{CacheEntries: 2 * burst})
@@ -482,32 +493,40 @@ func BenchmarkServe(b *testing.B) {
 		}
 		return mgr, httptest.NewServer(serve.NewServer(mgr))
 	}
-	b.Run(fmt.Sprintf("burst=%d/cold", burst), func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+	cold := func(name string, jobs int, bodyFor func(j int) string) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, ts := newServer(b)
+				b.StartTimer()
+				serveBurst(b, ts, jobs, bodyFor)
+				b.StopTimer()
+				ts.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+	warm := func(name string, jobs int, bodyFor func(j int) string) {
+		b.Run(name, func(b *testing.B) {
+			mgr, ts := newServer(b)
+			defer ts.Close()
+			serveBurst(b, ts, jobs, bodyFor) // prefill the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serveBurst(b, ts, jobs, bodyFor)
+			}
 			b.StopTimer()
-			_, ts := newServer(b)
-			b.StartTimer()
-			serveBurst(b, ts, burst)
-			b.StopTimer()
-			ts.Close()
-			b.StartTimer()
-		}
-		b.ReportMetric(float64(burst*b.N)/b.Elapsed().Seconds(), "jobs/s")
-	})
-	b.Run(fmt.Sprintf("burst=%d/warm", burst), func(b *testing.B) {
-		mgr, ts := newServer(b)
-		defer ts.Close()
-		serveBurst(b, ts, burst) // prefill the cache
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			serveBurst(b, ts, burst)
-		}
-		b.StopTimer()
-		if hits := mgr.Counter("serve.cache.hits"); hits < float64(burst*b.N) {
-			b.Fatalf("warm burst missed the cache: %v hits, want >= %d", hits, burst*b.N)
-		}
-		b.ReportMetric(float64(burst*b.N)/b.Elapsed().Seconds(), "jobs/s")
-	})
+			if hits := mgr.Counter("serve.cache.hits"); hits < float64(jobs*b.N) {
+				b.Fatalf("warm burst missed the cache: %v hits, want >= %d", hits, jobs*b.N)
+			}
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+	cold(fmt.Sprintf("burst=%d/cold", burst), burst, p2pBody)
+	warm(fmt.Sprintf("burst=%d/warm", burst), burst, p2pBody)
+	cold(fmt.Sprintf("matchscale=hopper/burst=%d/cold", msBurst), msBurst, msBody)
+	warm(fmt.Sprintf("matchscale=hopper/burst=%d/warm", msBurst), msBurst, msBody)
 }
 
 // --- Future-work features (§VI) ---------------------------------------------

@@ -35,9 +35,18 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single study: strategy, ring, gpuaware or eager")
+	system := flag.String("system", "", "run the strategy/ring/eager studies on this system (preset name or spec file path) instead of the paper defaults")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	flag.Parse()
 	sweep.SetWorkers(*parallel)
+	if *system != "" {
+		sys, err := cluster.Resolve(*system)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
+			os.Exit(2)
+		}
+		studySystem = &sys
+	}
 	studies := map[string]func(){
 		"strategy": strategyStudy,
 		"ring":     ringStudy,
@@ -58,6 +67,21 @@ func main() {
 		studies[name]()
 		fmt.Println()
 	}
+}
+
+// studySystem, when non-nil, replaces the paper-default systems in the
+// strategy, ring and eager studies. The gpuaware study stays on Cichlid
+// (it reproduces a §II comparison tied to that machine) and ipoib stays a
+// RICC-vs-RICCVerbs comparison by definition.
+var studySystem *cluster.System
+
+// studyOr returns the -system override if one was given, else the study's
+// paper-default system.
+func studyOr(def func() cluster.System) cluster.System {
+	if studySystem != nil {
+		return *studySystem
+	}
+	return def()
 }
 
 // ipoibStudy quantifies the thread-safety tax of §V-A: the paper ran Open
@@ -92,8 +116,11 @@ func strategyStudy() {
 	fmt.Println()
 	headers := []string{"system", "msg", "auto", "pinned", "mapped", "pipelined", "peer", "tuned", "auto/best", "tuned/best"}
 	var rows [][]string
-	for _, sysName := range []string{"cichlid", "ricc"} {
-		sys := cluster.Systems()[sysName]
+	systems := []cluster.System{cluster.Cichlid(), cluster.RICC()}
+	if studySystem != nil {
+		systems = []cluster.System{*studySystem}
+	}
+	for _, sys := range systems {
 		tunedOpts, err := clmpi.Tune(sys)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clmpi-ablate: %v\n", err)
@@ -138,7 +165,7 @@ func strategyStudy() {
 }
 
 func ringStudy() {
-	fmt.Println("Ablation: pipelined staging ring depth (32 MiB message, RICC)")
+	fmt.Printf("Ablation: pipelined staging ring depth (32 MiB message, %s)\n", studyOr(cluster.RICC).Name)
 	fmt.Println()
 	headers := []string{"ring buffers", "MB/s"}
 	var rows [][]string
@@ -175,7 +202,7 @@ func gpuAwareStudy() {
 }
 
 func eagerStudy() {
-	fmt.Println("Ablation: eager vs rendezvous latency (RICC, host-to-host)")
+	fmt.Printf("Ablation: eager vs rendezvous latency (%s, host-to-host)\n", studyOr(cluster.RICC).Name)
 	fmt.Println()
 	headers := []string{"msg bytes", "protocol", "one-way latency"}
 	var rows [][]string
@@ -192,7 +219,7 @@ func eagerStudy() {
 
 // measureWithOptions runs a single device→device transfer with the options.
 func measureWithOptions(opts clmpi.Options, size int64) float64 {
-	return measureOn(cluster.RICC(), opts, size)
+	return measureOn(studyOr(cluster.RICC), opts, size)
 }
 
 // measureOn runs a single device→device transfer on the given system.
@@ -230,7 +257,7 @@ func measureOn(system cluster.System, opts clmpi.Options, size int64) float64 {
 // measureLatency times a single host-to-host message end to end.
 func measureLatency(size int) time.Duration {
 	eng := sim.NewEngine()
-	world := mpi.NewWorld(cluster.New(eng, cluster.RICC(), 2))
+	world := mpi.NewWorld(cluster.New(eng, studyOr(cluster.RICC), 2))
 	var arrived time.Duration
 	world.LaunchRanks("lat", func(p *sim.Proc, ep *mpi.Endpoint) {
 		buf := make([]byte, size)

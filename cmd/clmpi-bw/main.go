@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	system := flag.String("system", "ricc", "system to simulate: cichlid or ricc")
+	system := flag.String("system", "ricc", "system to simulate: a preset name (cichlid, ricc, ricc-verbs, hopper) or a spec file path")
 	traceOut := flag.String("trace", "", "write one traced transfer as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the traced transfer's metrics registry")
 	strategyName := flag.String("strategy", "pipelined", "strategy of the traced transfer: auto, pinned, mapped, pipelined, pipelined(N) or peer")
@@ -54,13 +54,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProfiling()
-	sys, ok := cluster.Systems()[*system]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clmpi-bw: unknown system %q (want cichlid or ricc)\n", *system)
+	sys, err := cluster.Resolve(*system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("Figure 8(%s): point-to-point sustained bandwidth on %s\n\n",
-		map[string]string{"cichlid": "a", "ricc": "b"}[*system], sys.Name)
+		panelLabel(sys.Name), sys.Name)
 	headers, rows, err := bench.Fig8(sys)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
@@ -133,6 +133,18 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace (load in chrome://tracing or Perfetto): %s\n", *traceOut)
 	}
+}
+
+// panelLabel maps the two paper systems onto their figure panel letters;
+// any other system labels the panel with its lower-cased name.
+func panelLabel(name string) string {
+	switch strings.ToLower(name) {
+	case "cichlid":
+		return "a"
+	case "ricc":
+		return "b"
+	}
+	return strings.ToLower(name)
 }
 
 // parseRanks parses a comma-separated list of world sizes.

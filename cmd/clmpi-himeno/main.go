@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -31,8 +32,20 @@ import (
 	"repro/internal/trace/critpath"
 )
 
+// panelLabel maps the two paper systems onto their figure panel letters;
+// any other system labels the panel with its lower-cased name.
+func panelLabel(name string) string {
+	switch strings.ToLower(name) {
+	case "cichlid":
+		return "a"
+	case "ricc":
+		return "b"
+	}
+	return strings.ToLower(name)
+}
+
 func main() {
-	system := flag.String("system", "cichlid", "system to simulate: cichlid or ricc")
+	system := flag.String("system", "cichlid", "system to simulate: a preset name (cichlid, ricc, ricc-verbs, hopper) or a spec file path")
 	sizeName := flag.String("size", "M", "Himeno size: XS, S, M or L")
 	iters := flag.Int("iters", 6, "Jacobi iterations to time")
 	all := flag.Bool("all", false, "include the GPU-aware MPI (§II) and out-of-order clMPI implementations")
@@ -52,9 +65,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProfiling()
-	sys, ok := cluster.Systems()[*system]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clmpi-himeno: unknown system %q\n", *system)
+	sys, err := cluster.Resolve(*system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-himeno: %v\n", err)
 		os.Exit(2)
 	}
 	size, err := himeno.SizeByName(*sizeName)
@@ -63,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("Figure 9(%s): Himeno %s sustained performance on %s (%d iterations)\n\n",
-		map[string]string{"cichlid": "a", "ricc": "b"}[*system], size.Name, sys.Name, *iters)
+		panelLabel(sys.Name), size.Name, sys.Name, *iters)
 	impls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI}
 	if *all {
 		impls = append(impls, himeno.GPUAware, himeno.CLMPIOutOfOrder)

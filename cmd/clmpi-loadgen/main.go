@@ -9,6 +9,7 @@
 //
 //	clmpi-serve -addr 127.0.0.1:8177 &
 //	clmpi-loadgen -addr 127.0.0.1:8177 -jobs 1000 -bursts 2 -expect-cached -out serve-load.json
+//	clmpi-loadgen -addr 127.0.0.1:8177 -spec-file examples/systems/hopper.json -bursts 2 -expect-cached
 package main
 
 import (
@@ -33,12 +34,29 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "in-flight request cap (0 = all jobs at once)")
 	bursts := flag.Int("bursts", 2, "number of identical bursts (burst 2+ should be pure cache hits)")
 	system := flag.String("system", "cichlid", "system preset submitted with every job")
+	specFile := flag.String("spec-file", "", "submit this system spec file inline as system_spec with every job instead of a preset name")
 	spread := flag.Int("spread", 0, "number of distinct job configs per burst (0 = every job distinct)")
 	sizeBase := flag.Int64("size-base", 64<<10, "base p2p message size in bytes")
 	expectCached := flag.Bool("expect-cached", false, "exit non-zero unless bursts after the first are fully served from cache")
 	out := flag.String("out", "", "write the JSON summary to this file (also printed)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 	flag.Parse()
+
+	// The spec file rides along verbatim inside every job body; the daemon
+	// canonicalizes it, so formatting differences cannot defeat the cache.
+	var inlineSpec []byte
+	if *specFile != "" {
+		raw, err := os.ReadFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clmpi-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "clmpi-loadgen: %s: not valid JSON\n", *specFile)
+			os.Exit(2)
+		}
+		inlineSpec = raw
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	base := "http://" + *addr
@@ -54,7 +72,7 @@ func main() {
 	ok := true
 	for b := 0; b < *bursts; b++ {
 		hitsBefore := cacheHits(client, base)
-		bs, sums := runBurst(client, base, *jobs, *concurrency, *system, *spread, *sizeBase)
+		bs, sums := runBurst(client, base, *jobs, *concurrency, *system, inlineSpec, *spread, *sizeBase)
 		bs.CacheHits = cacheHits(client, base) - hitsBefore
 		for i, sum := range sums {
 			if b == 0 {
@@ -110,19 +128,23 @@ type Burst struct {
 
 // jobBody builds job i's submission. With spread > 0 configurations repeat
 // every spread jobs (so one burst already exercises the cache); with
-// spread 0 every job in a burst is a distinct configuration.
-func jobBody(i, spread int, system string, sizeBase int64) []byte {
+// spread 0 every job in a burst is a distinct configuration. A non-nil
+// inlineSpec replaces the preset name with an inline system_spec document.
+func jobBody(i, spread int, system string, inlineSpec []byte, sizeBase int64) []byte {
 	k := i
 	if spread > 0 {
 		k = i % spread
 	}
 	size := sizeBase + int64(k)*1024
+	if inlineSpec != nil {
+		return fmt.Appendf(nil, `{"system_spec":%s,"workload":"p2p","strategies":["pinned"],"sizes":[%d]}`, inlineSpec, size)
+	}
 	return fmt.Appendf(nil, `{"system":%q,"workload":"p2p","strategies":["pinned"],"sizes":[%d]}`, system, size)
 }
 
 // runBurst submits the burst's jobs concurrently and collects latency and
 // result digests (zero digest on error).
-func runBurst(client *http.Client, base string, jobs, concurrency int, system string, spread int, sizeBase int64) (Burst, [][32]byte) {
+func runBurst(client *http.Client, base string, jobs, concurrency int, system string, inlineSpec []byte, spread int, sizeBase int64) (Burst, [][32]byte) {
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -142,7 +164,7 @@ func runBurst(client *http.Client, base string, jobs, concurrency int, system st
 				defer func() { <-sem }()
 			}
 			t0 := time.Now()
-			raw, err := submitAndWait(client, base, jobBody(i, spread, system, sizeBase))
+			raw, err := submitAndWait(client, base, jobBody(i, spread, system, inlineSpec, sizeBase))
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()

@@ -8,6 +8,8 @@
 //
 //	clmpi-nanopowder
 //	clmpi-nanopowder -steps 5 -bins 128
+//	clmpi-nanopowder -system hopper
+//	clmpi-nanopowder -system mycluster.json
 package main
 
 import (
@@ -16,19 +18,26 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/nanopowder"
 )
 
 func main() {
+	system := flag.String("system", "ricc", "system to simulate: a preset name or a spec file path")
 	steps := flag.Int("steps", 3, "simulation steps to time")
 	bins := flag.Int("bins", 256, "particle size bins per cell")
 	flag.Parse()
+	sys, err := cluster.Resolve(*system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-nanopowder: %v\n", err)
+		os.Exit(2)
+	}
 	params := nanopowder.DefaultParams()
 	params.Steps = *steps
 	params.Bins = *bins
-	fmt.Printf("Figure 10: nanopowder growth simulation on RICC (%d cells, %d bins, %.0f MB coefficients/step)\n\n",
-		params.Cells, params.Bins, float64(params.TotalCoeffBytes())/1e6)
-	points, err := bench.Fig10(params)
+	fmt.Printf("Figure 10: nanopowder growth simulation on %s (%d cells, %d bins, %.0f MB coefficients/step)\n\n",
+		sys.Name, params.Cells, params.Bins, float64(params.TotalCoeffBytes())/1e6)
+	points, err := bench.Fig10On(sys, params)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-nanopowder: %v\n", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -28,6 +29,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	systemsFlag := flag.String("systems", "cichlid,ricc", "comma-separated systems for the Figure 8/9 sweeps: preset names or spec file paths")
 	ranks := flag.Int("ranks", 0, "extra world size for the large-world matching scaling section (0 = default grid only)")
 	critReport := flag.Bool("critpath", false, "append a critical-path profile of a traced clMPI Himeno run (attribution, what-if bounds)")
 	flame := flag.String("flame", "", "write that traced run's critical path as folded flamegraph stacks to this file")
@@ -69,21 +71,26 @@ func main() {
 		fmt.Printf("%s\n\n%s\n", panel.name, rendered[i])
 	}
 
-	for _, sysName := range []string{"cichlid", "ricc"} {
-		sys := cluster.Systems()[sysName]
+	var sweepSystems []cluster.System
+	for _, arg := range strings.Split(*systemsFlag, ",") {
+		sys, err := cluster.Resolve(strings.TrimSpace(arg))
+		check(err)
+		sweepSystems = append(sweepSystems, sys)
+	}
+
+	for _, sys := range sweepSystems {
 		section(fmt.Sprintf("Figure 8(%s) — p2p sustained bandwidth, %s",
-			map[string]string{"cichlid": "a", "ricc": "b"}[sysName], sys.Name))
+			panelLabel(sys.Name), sys.Name))
 		headers, rows, err := bench.Fig8(sys)
 		check(err)
 		fmt.Print(bench.FormatTable(headers, rows))
 	}
 
-	for _, sysName := range []string{"cichlid", "ricc"} {
-		sys := cluster.Systems()[sysName]
+	for _, sys := range sweepSystems {
 		section(fmt.Sprintf("Figure 9(%s) — Himeno %s sustained performance, %s (%d iterations)",
-			map[string]string{"cichlid": "a", "ricc": "b"}[sysName], himenoSize.Name, sys.Name, himenoIters))
+			panelLabel(sys.Name), himenoSize.Name, sys.Name, himenoIters))
 		nodes := bench.Fig9Nodes(sys)
-		if *quick && sysName == "ricc" {
+		if *quick && sys.MaxNodes > 32 {
 			nodes = []int{1, 2, 4, 8, 16, 32} // the S grid cannot feed 64 ranks
 		}
 		impls := []himeno.Impl{himeno.Serial, himeno.HandOpt, himeno.CLMPI}
@@ -133,6 +140,18 @@ func main() {
 
 	section("Verification — distributed implementations vs host references")
 	verifySummary(himenoIters)
+}
+
+// panelLabel maps the two paper systems onto their figure panel letters;
+// any other system labels the panel with its lower-cased name.
+func panelLabel(name string) string {
+	switch strings.ToLower(name) {
+	case "cichlid":
+		return "a"
+	case "ricc":
+		return "b"
+	}
+	return strings.ToLower(name)
 }
 
 func section(title string) {

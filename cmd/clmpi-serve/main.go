@@ -9,6 +9,7 @@
 //	clmpi-serve -addr 127.0.0.1:8177
 //	curl -s -X POST localhost:8177/v1/jobs?wait=1 -d '{"system":"cichlid"}'
 //	clmpi-serve -addr :8177 -workers 8 -cache-entries 4096 -cache-dir /var/cache/clmpi
+//	clmpi-serve -systems lab.json,dgx.json   # register spec files as daemon-local names
 //
 // See the README's "Running the sweep server" walkthrough.
 package main
@@ -21,9 +22,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -33,13 +37,28 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity (entries)")
 	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives eviction and restarts)")
 	parallelWorld := flag.Int("parallel-world", 0, "default partitioned-engine width for matchscale jobs that do not set parallel_world (0 = serial engine); a partitioned point claims that many worker slots")
+	systemsFlag := flag.String("systems", "", "comma-separated system spec files to register as daemon-local names (jobs may then name them in \"system\"; results are still content-addressed by the spec, not the name)")
 	flag.Parse()
+
+	var registered map[string]cluster.System
+	if *systemsFlag != "" {
+		registered = make(map[string]cluster.System)
+		for _, path := range strings.Split(*systemsFlag, ",") {
+			sys, err := cluster.LoadFile(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clmpi-serve: %v\n", err)
+				os.Exit(2)
+			}
+			registered[strings.ToLower(sys.Name)] = sys
+		}
+	}
 
 	mgr, err := serve.NewManager(serve.Options{
 		Workers:       *workers,
 		CacheEntries:  *cacheEntries,
 		CacheDir:      *cacheDir,
 		ParallelWorld: *parallelWorld,
+		Systems:       registered,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-serve: %v\n", err)
@@ -52,6 +71,14 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "clmpi-serve: listening on %s (workers=%d)\n", *addr, mgr.Workers())
+	if len(registered) > 0 {
+		names := make([]string, 0, len(registered))
+		for name := range registered {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "clmpi-serve: registered systems: %s\n", strings.Join(names, ", "))
+	}
 
 	select {
 	case err := <-errc:

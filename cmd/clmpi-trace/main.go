@@ -31,18 +31,25 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/himeno"
 	"repro/internal/trace"
 	"repro/internal/trace/critpath"
 )
 
 func main() {
+	system := flag.String("system", "cichlid", "system to simulate: a preset name or a spec file path")
 	sizeName := flag.String("size", "S", "Himeno size: XS, S, M or L")
 	iters := flag.Int("iters", 2, "iterations to trace")
 	traceOut := flag.String("trace", "", "write the clMPI panel's events as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print each panel's metrics registry")
 	outDir := flag.String("o", "", "write the clMPI panel's full profiling bundle (Chrome trace, native trace, critical-path report, folded stacks, pprof profile) into this directory")
 	flag.Parse()
+	sys, err := cluster.Resolve(*system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
+		os.Exit(2)
+	}
 	size, err := himeno.SizeByName(*sizeName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
@@ -56,12 +63,12 @@ func main() {
 		{"(b) hand-optimized (host-blocked overlap)", himeno.HandOpt},
 		{"(c) clMPI (event-driven overlap)", himeno.CLMPI},
 	} {
-		trc, out, err := bench.Fig4Traced(impl.impl, size, *iters)
+		trc, out, err := bench.Fig4TracedOn(sys, impl.impl, size, *iters)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clmpi-trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("Figure 4%s — Himeno %s, 2 nodes on Cichlid, %d iterations\n\n%s\n", impl.panel, size.Name, *iters, out)
+		fmt.Printf("Figure 4%s — Himeno %s, 2 nodes on %s, %d iterations\n\n%s\n", impl.panel, size.Name, sys.Name, *iters, out)
 		if *metrics {
 			fmt.Printf("metrics %s\n%s\n", impl.panel, trc.Bus().Metrics().Format())
 		}

@@ -20,16 +20,16 @@ func main() {
 	sizeName := flag.String("size", "S", "Himeno size: XS, S, M or L")
 	nodes := flag.Int("nodes", 4, "simulated cluster nodes")
 	iters := flag.Int("iters", 4, "Jacobi iterations")
-	system := flag.String("system", "cichlid", "cichlid or ricc")
+	system := flag.String("system", "cichlid", "a preset name or a spec file path")
 	flag.Parse()
 
 	size, err := himeno.SizeByName(*sizeName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, ok := cluster.Systems()[*system]
-	if !ok {
-		log.Fatalf("unknown system %q", *system)
+	sys, err := cluster.Resolve(*system)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("Himeno %s on %d %s nodes, %d iterations\n\n", size.Name, *nodes, sys.Name, *iters)

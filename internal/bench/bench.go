@@ -117,20 +117,41 @@ func Fig8(sys cluster.System) (headers []string, rows [][]string, err error) {
 
 // Table1 renders the system-specification table the paper's Table I gives.
 func Table1() string {
-	ci, ricc := cluster.Cichlid(), cluster.RICC()
-	rows := [][]string{
-		{"CPU", ci.CPU.Model, ricc.CPU.Model},
-		{"GPU", ci.GPU.Model, ricc.GPU.Model},
-		{"Nodes", fmt.Sprintf("%d", ci.MaxNodes), fmt.Sprintf("%d", ricc.MaxNodes)},
-		{"NIC", ci.NIC.Model, ricc.NIC.Model},
-		{"OS", ci.OS, ricc.OS},
-		{"Compiler", ci.Compiler, ricc.Compiler},
-		{"Driver Ver.", ci.Driver, ricc.Driver},
-		{"OpenCL", ci.OpenCL, ricc.OpenCL},
-		{"MPI", ci.MPI, ricc.MPI},
-		{"NIC BW (model)", fmt.Sprintf("%.0f MB/s", ci.NIC.BW/1e6), fmt.Sprintf("%.0f MB/s", ricc.NIC.BW/1e6)},
-		{"PCIe pinned (model)", fmt.Sprintf("%.1f GB/s", ci.GPU.PinnedBW/1e9), fmt.Sprintf("%.1f GB/s", ricc.GPU.PinnedBW/1e9)},
-		{"Default strategy", ci.DefaultStrategy, ricc.DefaultStrategy},
+	return SpecTable(cluster.Cichlid(), cluster.RICC())
+}
+
+// SpecTable renders a Table I-style specification table with one column per
+// system — built-in presets and loaded spec files alike (clmpi-sysinfo's
+// rendering path).
+func SpecTable(systems ...cluster.System) string {
+	headers := []string{""}
+	for _, s := range systems {
+		headers = append(headers, s.Name)
 	}
-	return FormatTable([]string{"", "Cichlid", "RICC"}, rows)
+	cell := func(f func(cluster.System) string) []string {
+		row := make([]string, 0, len(systems))
+		for _, s := range systems {
+			row = append(row, f(s))
+		}
+		return row
+	}
+	rows := [][]string{
+		append([]string{"CPU"}, cell(func(s cluster.System) string { return s.CPU.Model })...),
+		append([]string{"GPU"}, cell(func(s cluster.System) string { return s.GPU.Model })...),
+		append([]string{"Nodes"}, cell(func(s cluster.System) string { return fmt.Sprintf("%d", s.MaxNodes) })...),
+		append([]string{"NIC"}, cell(func(s cluster.System) string { return s.NIC.Model })...),
+		append([]string{"OS"}, cell(func(s cluster.System) string { return s.OS })...),
+		append([]string{"Compiler"}, cell(func(s cluster.System) string { return s.Compiler })...),
+		append([]string{"Driver Ver."}, cell(func(s cluster.System) string { return s.Driver })...),
+		append([]string{"OpenCL"}, cell(func(s cluster.System) string { return s.OpenCL })...),
+		append([]string{"MPI"}, cell(func(s cluster.System) string { return s.MPI })...),
+		append([]string{"NIC BW (model)"}, cell(func(s cluster.System) string {
+			return fmt.Sprintf("%.0f MB/s", s.NIC.BW/1e6)
+		})...),
+		append([]string{"PCIe pinned (model)"}, cell(func(s cluster.System) string {
+			return fmt.Sprintf("%.1f GB/s", s.GPU.PinnedBW/1e9)
+		})...),
+		append([]string{"Default strategy"}, cell(func(s cluster.System) string { return s.DefaultStrategy })...),
+	}
+	return FormatTable(headers, rows)
 }

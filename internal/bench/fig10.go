@@ -23,8 +23,18 @@ func Fig10Nodes() []int { return []int{1, 2, 4, 5, 8, 10, 20, 40} }
 // Fig10 measures the nanopowder step time for both implementations across
 // the node sweep on RICC.
 func Fig10(params nanopowder.Params) ([]Fig10Point, error) {
-	sys := cluster.RICC()
-	nodeCounts := Fig10Nodes()
+	return Fig10On(cluster.RICC(), params)
+}
+
+// Fig10On is Fig10 on an arbitrary system; node counts beyond the system's
+// size are dropped from the sweep.
+func Fig10On(sys cluster.System, params nanopowder.Params) ([]Fig10Point, error) {
+	var nodeCounts []int
+	for _, n := range Fig10Nodes() {
+		if sys.MaxNodes == 0 || n <= sys.MaxNodes {
+			nodeCounts = append(nodeCounts, n)
+		}
+	}
 	impls := []nanopowder.Impl{nanopowder.Baseline, nanopowder.CLMPI}
 	// Flat (nodes, impl) grid over the sweep pool; indexed results keep the
 	// point order identical to the serial loop.

@@ -125,9 +125,16 @@ func Fig9Table(points []Fig9Point) (headers []string, rows [][]string) {
 }
 
 // Fig4 reproduces the paper's timeline diagrams: a two-node Himeno run of
-// the given implementation, traced and rendered as ASCII Gantt lanes.
+// the given implementation on Cichlid, traced and rendered as ASCII Gantt
+// lanes.
 func Fig4(impl himeno.Impl, size himeno.Size, iters int) (string, error) {
 	_, out, err := Fig4Traced(impl, size, iters)
+	return out, err
+}
+
+// Fig4On is Fig4 on an arbitrary system.
+func Fig4On(sys cluster.System, impl himeno.Impl, size himeno.Size, iters int) (string, error) {
+	_, out, err := Fig4TracedOn(sys, impl, size, iters)
 	return out, err
 }
 
@@ -135,7 +142,12 @@ func Fig4(impl himeno.Impl, size himeno.Size, iters int) (string, error) {
 // the same run as Chrome trace_event JSON or read its metrics registry
 // (summarized before return).
 func Fig4Traced(impl himeno.Impl, size himeno.Size, iters int) (*trace.Tracer, string, error) {
-	trc, _, err := TraceHimeno(cluster.Cichlid(), impl, size, 2, iters)
+	return Fig4TracedOn(cluster.Cichlid(), impl, size, iters)
+}
+
+// Fig4TracedOn is Fig4Traced on an arbitrary system.
+func Fig4TracedOn(sys cluster.System, impl himeno.Impl, size himeno.Size, iters int) (*trace.Tracer, string, error) {
+	trc, _, err := TraceHimeno(sys, impl, size, 2, iters)
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/himeno"
+)
+
+// examplesDir is the checked-in export of every built-in preset
+// (regenerated with `clmpi-sysinfo -o examples/systems`).
+const examplesDir = "../../examples/systems"
+
+// TestExportedSpecsMatchPresets pins the contract the CI spec gate and the
+// README walkthrough rely on: the spec files under examples/systems are
+// byte-identical to the embedded canonical encodings, and loading one back
+// reproduces the in-code preset exactly — so every downstream virtual-time
+// result is bit-for-bit the same whether a system arrives by name or file.
+func TestExportedSpecsMatchPresets(t *testing.T) {
+	presets := cluster.Systems()
+	names := cluster.PresetNames()
+	if len(names) != len(presets) {
+		t.Fatalf("PresetNames has %d entries, Systems %d", len(names), len(presets))
+	}
+	for _, name := range names {
+		path := filepath.Join(examplesDir, name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (regenerate with clmpi-sysinfo -o examples/systems): %v", path, err)
+		}
+		want, err := cluster.EncodeSpec(presets[name])
+		if err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		if string(data) != string(want) {
+			t.Errorf("%s is stale: differs from the canonical encoding of preset %q (regenerate with clmpi-sysinfo -o examples/systems)", path, name)
+		}
+		sys, err := cluster.LoadFile(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if !reflect.DeepEqual(sys, presets[name]) {
+			t.Errorf("loading %s does not reproduce preset %q", path, name)
+		}
+	}
+}
+
+// TestLoadedSpecVirtualTimeIdentity is the end-to-end smoke on top of the
+// structural equality above: a system loaded from its exported spec file
+// drives the simulation to the exact same virtual-time numbers as the
+// in-code constructor.
+func TestLoadedSpecVirtualTimeIdentity(t *testing.T) {
+	for name, ctor := range map[string]func() cluster.System{
+		"cichlid": cluster.Cichlid,
+		"ricc":    cluster.RICC,
+	} {
+		loaded, err := cluster.LoadFile(filepath.Join(examplesDir, name+".json"))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		bwLoaded, err := MeasureP2P(loaded, 0, 0, 1<<20) // Auto strategy
+		if err != nil {
+			t.Fatalf("p2p on loaded %s: %v", name, err)
+		}
+		bwPreset, err := MeasureP2P(ctor(), 0, 0, 1<<20)
+		if err != nil {
+			t.Fatalf("p2p on preset %s: %v", name, err)
+		}
+		if bwLoaded != bwPreset {
+			t.Errorf("%s: p2p bandwidth differs: loaded %v, preset %v", name, bwLoaded, bwPreset)
+		}
+	}
+	loaded, err := cluster.LoadFile(filepath.Join(examplesDir, "cichlid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sys cluster.System) *himeno.Result {
+		res, err := himeno.Run(himeno.Config{
+			System: sys, Nodes: 2, Size: himeno.SizeXS, Iters: 2,
+			Impl: himeno.CLMPI, Mode: himeno.OfficialInit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	got, want := run(loaded), run(cluster.Cichlid())
+	if got.Elapsed != want.Elapsed || got.GFLOPS != want.GFLOPS {
+		t.Errorf("himeno on loaded spec: elapsed %v GFLOPS %v, preset: elapsed %v GFLOPS %v",
+			got.Elapsed, got.GFLOPS, want.Elapsed, want.GFLOPS)
+	}
+}

@@ -1,0 +1,354 @@
+// Package calib fits a cluster.System's derived cost parameters from a
+// handful of measured microbenchmark numbers, so a "describe your cluster"
+// spec can start from real sustained rates instead of datasheet figures.
+//
+// The measurement protocols are the standard ones (bandwidthTest-style
+// one-shot copies, osu_latency-style ping-pong, a back-to-back message
+// stream, a stencil kernel at two problem sizes), and each has a closed-form
+// cost model mirroring how the simulation charges virtual time:
+//
+//	copy(kind, n)   = setup(kind) + DMALatency + n/BW(kind)
+//	                  setup(pageable)=0, setup(pinned)=PinSetup,
+//	                  setup(mapped)=MapSetup, setup(peer)=PeerSetup
+//	pingpong(n)     = 2·(2·MsgOverhead + WireLatency + n/NIC.BW)   (RTT)
+//	stream(C, n)    = WireLatency + C·(MsgOverhead + n/NIC.BW)
+//	kernel(f)       = KernelLaunch + f/(SustainedGFLOPS·1e9)
+//	hostcopy(n)     = n/CPU.MemBW
+//	hostcompute(f)  = f/(CPU.GFLOPS·1e9)
+//	disk(n)         = Seek + n/Disk.BW
+//
+// Fitting is linear least squares per protocol. Pageable copies anchor
+// DMALatency (their setup is zero, so the intercept is pure descriptor
+// latency); every other kind's intercept minus DMALatency is its setup
+// cost. Ping-pong alone cannot separate WireLatency from MsgOverhead (both
+// sit in the intercept), which is why the stream run exists: with C ≠ 2
+// messages it weights MsgOverhead differently (C× vs the ping-pong's
+// effective 2×), and the two intercept equations solve exactly:
+//
+//	S = stream − C·n/BW = WireLatency + C·MsgOverhead
+//	I/2 = WireLatency + 2·MsgOverhead          (I = ping-pong intercept)
+//	MsgOverhead = (S − I/2)/(C − 2),  WireLatency = I/2 − 2·MsgOverhead
+//
+// Synthesize inverts Fit: it generates exact measurements from a known
+// System, which is how the round-trip property test pins the fitter —
+// synthesize from a preset, fit, and every parameter must come back within
+// 1% (in practice, within duration rounding).
+package calib
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// CopyPoint is one timed transfer: Bytes moved in Seconds.
+type CopyPoint struct {
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// FlopPoint is one timed compute phase: Flops executed in Seconds.
+type FlopPoint struct {
+	Flops   float64 `json:"flops"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StreamRun times C back-to-back same-size messages, sender to receiver
+// (one WireLatency, C serializations and per-message overheads).
+type StreamRun struct {
+	Messages int     `json:"messages"`
+	Bytes    int64   `json:"bytes"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// Measurements is the JSON-able input to Fit. Copies is keyed by host
+// memory kind name (pageable, pinned, mapped, peer); each protocol needs
+// at least two points at distinct sizes, except HostCopy/HostCompute
+// (through the origin, one point suffices). Optional sections (peer
+// copies, kernel, host, disk) may be omitted; Fit then keeps the base
+// spec's values for those parameters.
+type Measurements struct {
+	Copies      map[string][]CopyPoint `json:"copies"`
+	PingPong    []CopyPoint            `json:"ping_pong"`
+	Stream      *StreamRun             `json:"stream,omitempty"`
+	Kernel      []FlopPoint            `json:"kernel,omitempty"`
+	HostCopy    []CopyPoint            `json:"host_copy,omitempty"`
+	HostCompute []FlopPoint            `json:"host_compute,omitempty"`
+	Disk        []CopyPoint            `json:"disk,omitempty"`
+}
+
+// copySizes are the transfer sizes Synthesize times for each protocol —
+// spread over two decades so slope and intercept are both well-conditioned.
+var copySizes = []int64{256 << 10, 4 << 20, 64 << 20}
+
+// streamMessages is the stream-run depth. Any value other than 2 separates
+// MsgOverhead from WireLatency (see package comment); 16 keeps the run
+// realistic for a pipelined transfer.
+const streamMessages = 16
+
+// Synthesize generates exact measurements for sys under the package's cost
+// models. It is the inverse of Fit, used by the round-trip property test
+// and by `clmpi-calib -synth` to produce worked example inputs.
+func Synthesize(sys cluster.System) Measurements {
+	m := Measurements{Copies: map[string][]CopyPoint{}}
+	kinds := []cluster.HostMemKind{cluster.Pageable, cluster.Pinned, cluster.Mapped}
+	if sys.GPU.PeerBW > 0 {
+		kinds = append(kinds, cluster.Peer)
+	}
+	for _, kind := range kinds {
+		setup := copySetup(&sys.GPU, kind)
+		for _, n := range copySizes {
+			t := setup + sys.GPU.DMALatency.Seconds() + float64(n)/sys.GPU.PCIeBW(kind)
+			m.Copies[kind.String()] = append(m.Copies[kind.String()], CopyPoint{Bytes: n, Seconds: t})
+		}
+	}
+	for _, n := range []int64{1 << 10, 64 << 10, 1 << 20} {
+		rtt := 2 * (2*sys.NIC.MsgOverhead.Seconds() + sys.NIC.WireLatency.Seconds() + float64(n)/sys.NIC.BW)
+		m.PingPong = append(m.PingPong, CopyPoint{Bytes: n, Seconds: rtt})
+	}
+	const streamBytes = 64 << 10
+	m.Stream = &StreamRun{
+		Messages: streamMessages,
+		Bytes:    streamBytes,
+		Seconds: sys.NIC.WireLatency.Seconds() +
+			streamMessages*(sys.NIC.MsgOverhead.Seconds()+float64(streamBytes)/sys.NIC.BW),
+	}
+	for _, f := range []float64{1e8, 1e10} {
+		m.Kernel = append(m.Kernel, FlopPoint{Flops: f, Seconds: sys.GPU.KernelLaunch.Seconds() + f/(sys.GPU.SustainedGFLOPS*1e9)})
+	}
+	for _, n := range []int64{1 << 20, 256 << 20} {
+		m.HostCopy = append(m.HostCopy, CopyPoint{Bytes: n, Seconds: float64(n) / sys.CPU.MemBW})
+	}
+	for _, f := range []float64{1e8, 1e10} {
+		m.HostCompute = append(m.HostCompute, FlopPoint{Flops: f, Seconds: f / (sys.CPU.GFLOPS * 1e9)})
+	}
+	if sys.Disk.BW > 0 {
+		for _, n := range []int64{64 << 10, 16 << 20} {
+			m.Disk = append(m.Disk, CopyPoint{Bytes: n, Seconds: sys.Disk.Seek.Seconds() + float64(n)/sys.Disk.BW})
+		}
+	}
+	return m
+}
+
+func copySetup(g *cluster.GPUSpec, kind cluster.HostMemKind) float64 {
+	switch kind {
+	case cluster.Pinned:
+		return g.PinSetup.Seconds()
+	case cluster.Mapped:
+		return g.MapSetup.Seconds()
+	case cluster.Peer:
+		return g.PeerSetup.Seconds()
+	default:
+		return 0
+	}
+}
+
+// Fit solves the measurement models for the spec's derived parameters and
+// returns base with those parameters replaced. Identity fields (Name,
+// MaxNodes, models, software stack, DefaultStrategy, GPU memory size, CPU
+// topology, NIC Backplane/PeerDMA) always come from base. Required:
+// pageable, pinned and mapped copies, ping-pong, and a stream run; peer
+// copies, kernel, host and disk sections are fitted when present.
+func Fit(base cluster.System, m Measurements) (cluster.System, error) {
+	sys := base
+
+	// PCIe: pageable first — its intercept is DMALatency alone.
+	pageSlope, pageIcept, err := fitLine(m.Copies["pageable"], "copies.pageable")
+	if err != nil {
+		return cluster.System{}, err
+	}
+	if pageIcept < 0 {
+		return cluster.System{}, fmt.Errorf("calib: copies.pageable: negative intercept %g s (DMA latency cannot be negative)", pageIcept)
+	}
+	sys.GPU.DMALatency = dur(pageIcept)
+	sys.GPU.PageableBW = 1 / pageSlope
+
+	fitKind := func(kind string, bw *float64, setup *time.Duration) error {
+		slope, icept, err := fitLine(m.Copies[kind], "copies."+kind)
+		if err != nil {
+			return err
+		}
+		s := icept - pageIcept
+		if s < 0 {
+			if s > -1e-9 { // measurement noise around a zero setup cost
+				s = 0
+			} else {
+				return fmt.Errorf("calib: copies.%s: intercept %g s below the pageable intercept %g s (setup cost cannot be negative)", kind, icept, pageIcept)
+			}
+		}
+		*bw = 1 / slope
+		*setup = dur(s)
+		return nil
+	}
+	if err := fitKind("pinned", &sys.GPU.PinnedBW, &sys.GPU.PinSetup); err != nil {
+		return cluster.System{}, err
+	}
+	if err := fitKind("mapped", &sys.GPU.MappedBW, &sys.GPU.MapSetup); err != nil {
+		return cluster.System{}, err
+	}
+	if len(m.Copies["peer"]) > 0 {
+		if err := fitKind("peer", &sys.GPU.PeerBW, &sys.GPU.PeerSetup); err != nil {
+			return cluster.System{}, err
+		}
+	}
+
+	// Wire: ping-pong slope is 2/BW; the stream run splits the intercept
+	// into WireLatency and MsgOverhead (see package comment).
+	ppSlope, ppIcept, err := fitLine(m.PingPong, "ping_pong")
+	if err != nil {
+		return cluster.System{}, err
+	}
+	sys.NIC.BW = 2 / ppSlope
+	if m.Stream == nil {
+		return cluster.System{}, fmt.Errorf("calib: stream: missing (required to separate wire latency from per-message overhead)")
+	}
+	if m.Stream.Messages == 2 {
+		return cluster.System{}, fmt.Errorf("calib: stream: a 2-message stream weights overhead like ping-pong and cannot separate the intercepts (use any other depth)")
+	}
+	if m.Stream.Messages < 1 || m.Stream.Bytes <= 0 || m.Stream.Seconds <= 0 {
+		return cluster.System{}, fmt.Errorf("calib: stream: need messages >= 1, bytes > 0, seconds > 0")
+	}
+	c := float64(m.Stream.Messages)
+	s := m.Stream.Seconds - c*float64(m.Stream.Bytes)/sys.NIC.BW // WireLatency + C·MsgOverhead
+	half := ppIcept / 2                                          // WireLatency + 2·MsgOverhead
+	msg := (s - half) / (c - 2)
+	wire := half - 2*msg
+	if msg < 0 && msg > -1e-9 {
+		msg = 0
+	}
+	if msg < 0 || wire <= 0 {
+		return cluster.System{}, fmt.Errorf("calib: wire fit inconsistent: MsgOverhead=%g s, WireLatency=%g s (check ping_pong and stream agree on the same link)", msg, wire)
+	}
+	sys.NIC.MsgOverhead = dur(msg)
+	sys.NIC.WireLatency = dur(wire)
+
+	if len(m.Kernel) > 0 {
+		slope, icept, err := fitFlops(m.Kernel, "kernel")
+		if err != nil {
+			return cluster.System{}, err
+		}
+		if icept < 0 {
+			if icept > -1e-9 {
+				icept = 0
+			} else {
+				return cluster.System{}, fmt.Errorf("calib: kernel: negative intercept %g s (launch overhead cannot be negative)", icept)
+			}
+		}
+		sys.GPU.SustainedGFLOPS = 1 / (slope * 1e9)
+		sys.GPU.KernelLaunch = dur(icept)
+	}
+	if len(m.HostCopy) > 0 {
+		slope, err := fitOrigin(m.HostCopy, "host_copy")
+		if err != nil {
+			return cluster.System{}, err
+		}
+		sys.CPU.MemBW = 1 / slope
+	}
+	if len(m.HostCompute) > 0 {
+		pts := make([]CopyPoint, len(m.HostCompute))
+		for i, p := range m.HostCompute {
+			pts[i] = CopyPoint{Bytes: int64(p.Flops), Seconds: p.Seconds}
+		}
+		slope, err := fitOrigin(pts, "host_compute")
+		if err != nil {
+			return cluster.System{}, err
+		}
+		sys.CPU.GFLOPS = 1 / (slope * 1e9)
+	}
+	if len(m.Disk) > 0 {
+		slope, icept, err := fitLine(m.Disk, "disk")
+		if err != nil {
+			return cluster.System{}, err
+		}
+		if icept < 0 {
+			if icept > -1e-9 {
+				icept = 0
+			} else {
+				return cluster.System{}, fmt.Errorf("calib: disk: negative intercept %g s (seek cannot be negative)", icept)
+			}
+		}
+		sys.Disk.BW = 1 / slope
+		sys.Disk.Seek = dur(icept)
+	}
+
+	// The fitted spec must still be a legal system description.
+	if _, err := cluster.DecodeSpec(mustEncode(sys)); err != nil {
+		return cluster.System{}, fmt.Errorf("calib: fitted spec invalid: %w", err)
+	}
+	return sys, nil
+}
+
+func mustEncode(sys cluster.System) []byte {
+	data, err := cluster.EncodeSpec(sys)
+	if err != nil {
+		// Encode validates with the same rules as decode; surface the
+		// encode-side error through the decode gate above.
+		return []byte(err.Error())
+	}
+	return data
+}
+
+func dur(seconds float64) time.Duration {
+	return time.Duration(math.Round(seconds * 1e9))
+}
+
+// fitLine least-squares y = slope·x + intercept over the points, requiring
+// at least two distinct sizes and a positive slope.
+func fitLine(pts []CopyPoint, what string) (slope, intercept float64, err error) {
+	if len(pts) < 2 {
+		return 0, 0, fmt.Errorf("calib: %s: need at least 2 points at distinct sizes (got %d)", what, len(pts))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		if p.Bytes <= 0 || p.Seconds <= 0 {
+			return 0, 0, fmt.Errorf("calib: %s: need bytes > 0 and seconds > 0 (got %d bytes, %g s)", what, p.Bytes, p.Seconds)
+		}
+		x, y := float64(p.Bytes), p.Seconds
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(pts))
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return 0, 0, fmt.Errorf("calib: %s: all points share one size; need at least 2 distinct sizes", what)
+	}
+	slope = (n*sxy - sx*sy) / det
+	intercept = (sy - slope*sx) / n
+	if slope <= 0 {
+		return 0, 0, fmt.Errorf("calib: %s: non-positive slope %g s/byte (times must grow with size)", what, slope)
+	}
+	return slope, intercept, nil
+}
+
+func fitFlops(pts []FlopPoint, what string) (slope, intercept float64, err error) {
+	cp := make([]CopyPoint, len(pts))
+	for i, p := range pts {
+		cp[i] = CopyPoint{Bytes: int64(p.Flops), Seconds: p.Seconds}
+	}
+	return fitLine(cp, what)
+}
+
+// fitOrigin least-squares y = slope·x through the origin.
+func fitOrigin(pts []CopyPoint, what string) (slope float64, err error) {
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("calib: %s: need at least 1 point", what)
+	}
+	var sxx, sxy float64
+	for _, p := range pts {
+		if p.Bytes <= 0 || p.Seconds <= 0 {
+			return 0, fmt.Errorf("calib: %s: need a positive size and time (got %d, %g s)", what, p.Bytes, p.Seconds)
+		}
+		x, y := float64(p.Bytes), p.Seconds
+		sxx += x * x
+		sxy += x * y
+	}
+	slope = sxy / sxx
+	if slope <= 0 {
+		return 0, fmt.Errorf("calib: %s: non-positive rate", what)
+	}
+	return slope, nil
+}

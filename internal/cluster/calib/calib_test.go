@@ -1,0 +1,195 @@
+package calib
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// within reports |got-want|/|want| <= tol (exact zero wants exact zero up
+// to duration rounding).
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= 1e-9
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+// TestRoundTripRecoversPresets is the acceptance property: synthesize
+// measurements from every built-in preset, fit from a stripped base, and
+// every derived parameter must come back within 1%.
+func TestRoundTripRecoversPresets(t *testing.T) {
+	const tol = 0.01
+	for name, sys := range cluster.Systems() {
+		t.Run(name, func(t *testing.T) {
+			m := Synthesize(sys)
+
+			// The base deliberately carries wrong derived values, so any
+			// parameter the fitter fails to overwrite trips the check.
+			base := sys
+			base.GPU.PinnedBW, base.GPU.PageableBW, base.GPU.MappedBW = 1, 1, 1
+			base.GPU.PeerBW = 1
+			base.GPU.DMALatency, base.GPU.PinSetup, base.GPU.MapSetup = time.Hour, time.Hour, time.Hour
+			base.GPU.PeerSetup, base.GPU.KernelLaunch = time.Hour, time.Hour
+			base.GPU.SustainedGFLOPS = 1
+			base.NIC.BW, base.NIC.WireLatency, base.NIC.MsgOverhead = 1, time.Hour, time.Hour
+			base.CPU.GFLOPS, base.CPU.MemBW = 1, 1
+			base.Disk.BW, base.Disk.Seek = 1, time.Hour
+
+			got, err := Fit(base, m)
+			if err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+			checks := []struct {
+				param     string
+				got, want float64
+			}{
+				{"GPU.PinnedBW", got.GPU.PinnedBW, sys.GPU.PinnedBW},
+				{"GPU.PageableBW", got.GPU.PageableBW, sys.GPU.PageableBW},
+				{"GPU.MappedBW", got.GPU.MappedBW, sys.GPU.MappedBW},
+				{"GPU.PeerBW", got.GPU.PeerBW, sys.GPU.PeerBW},
+				{"GPU.DMALatency", got.GPU.DMALatency.Seconds(), sys.GPU.DMALatency.Seconds()},
+				{"GPU.PinSetup", got.GPU.PinSetup.Seconds(), sys.GPU.PinSetup.Seconds()},
+				{"GPU.MapSetup", got.GPU.MapSetup.Seconds(), sys.GPU.MapSetup.Seconds()},
+				{"GPU.PeerSetup", got.GPU.PeerSetup.Seconds(), sys.GPU.PeerSetup.Seconds()},
+				{"GPU.KernelLaunch", got.GPU.KernelLaunch.Seconds(), sys.GPU.KernelLaunch.Seconds()},
+				{"GPU.SustainedGFLOPS", got.GPU.SustainedGFLOPS, sys.GPU.SustainedGFLOPS},
+				{"NIC.BW", got.NIC.BW, sys.NIC.BW},
+				{"NIC.WireLatency", got.NIC.WireLatency.Seconds(), sys.NIC.WireLatency.Seconds()},
+				{"NIC.MsgOverhead", got.NIC.MsgOverhead.Seconds(), sys.NIC.MsgOverhead.Seconds()},
+				{"CPU.GFLOPS", got.CPU.GFLOPS, sys.CPU.GFLOPS},
+				{"CPU.MemBW", got.CPU.MemBW, sys.CPU.MemBW},
+				{"Disk.BW", got.Disk.BW, sys.Disk.BW},
+				{"Disk.Seek", got.Disk.Seek.Seconds(), sys.Disk.Seek.Seconds()},
+			}
+			for _, c := range checks {
+				if !within(c.got, c.want, tol) {
+					t.Errorf("%s: fitted %g, want %g (>1%% off)", c.param, c.got, c.want)
+				}
+			}
+			// Identity fields must pass through from base untouched.
+			if got.Name != sys.Name || got.MaxNodes != sys.MaxNodes || got.DefaultStrategy != sys.DefaultStrategy {
+				t.Errorf("identity fields changed: %q/%d/%q", got.Name, got.MaxNodes, got.DefaultStrategy)
+			}
+		})
+	}
+}
+
+// TestRoundTripSurvivesNoise: 0.2% multiplicative measurement noise must
+// still land every parameter within the 1% acceptance band for bandwidths
+// and within a loose band for small intercept-derived durations.
+func TestRoundTripSurvivesNoise(t *testing.T) {
+	sys := cluster.RICC()
+	m := Synthesize(sys)
+	// Deterministic "noise": alternate ±0.2% by index.
+	wiggle := func(i int) float64 {
+		if i%2 == 0 {
+			return 1.002
+		}
+		return 0.998
+	}
+	for kind, pts := range m.Copies {
+		for i := range pts {
+			pts[i].Seconds *= wiggle(i)
+		}
+		m.Copies[kind] = pts
+	}
+	got, err := Fit(sys, m)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	for _, c := range []struct {
+		param     string
+		got, want float64
+	}{
+		{"GPU.PinnedBW", got.GPU.PinnedBW, sys.GPU.PinnedBW},
+		{"GPU.PageableBW", got.GPU.PageableBW, sys.GPU.PageableBW},
+		{"GPU.MappedBW", got.GPU.MappedBW, sys.GPU.MappedBW},
+	} {
+		if !within(c.got, c.want, 0.01) {
+			t.Errorf("%s: fitted %g, want %g under 0.2%% noise", c.param, c.got, c.want)
+		}
+	}
+}
+
+// TestMeasurementsJSONRoundTrip: the Measurements type is the wire format
+// clmpi-calib reads; it must survive JSON exactly enough to refit.
+func TestMeasurementsJSONRoundTrip(t *testing.T) {
+	m := Synthesize(cluster.Cichlid())
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Measurements
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fit(cluster.Cichlid(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(got.GPU.PinnedBW, cluster.Cichlid().GPU.PinnedBW, 0.01) {
+		t.Fatal("fit after JSON round trip drifted")
+	}
+}
+
+// TestFitErrors: malformed measurement sets fail with errors naming the
+// offending protocol.
+func TestFitErrors(t *testing.T) {
+	sys := cluster.Cichlid()
+	for _, tc := range []struct {
+		name    string
+		corrupt func(m *Measurements)
+		wantErr string
+	}{
+		{
+			name:    "too few pageable points",
+			corrupt: func(m *Measurements) { m.Copies["pageable"] = m.Copies["pageable"][:1] },
+			wantErr: "copies.pageable: need at least 2 points",
+		},
+		{
+			name: "duplicate sizes",
+			corrupt: func(m *Measurements) {
+				p := m.Copies["pinned"][0]
+				m.Copies["pinned"] = []CopyPoint{p, p}
+			},
+			wantErr: "copies.pinned: all points share one size",
+		},
+		{
+			name:    "missing stream",
+			corrupt: func(m *Measurements) { m.Stream = nil },
+			wantErr: "stream: missing",
+		},
+		{
+			name:    "two-message stream is degenerate",
+			corrupt: func(m *Measurements) { m.Stream.Messages = 2 },
+			wantErr: "stream: a 2-message stream",
+		},
+		{
+			name: "shrinking times",
+			corrupt: func(m *Measurements) {
+				m.PingPong[0].Seconds, m.PingPong[len(m.PingPong)-1].Seconds =
+					m.PingPong[len(m.PingPong)-1].Seconds, m.PingPong[0].Seconds
+			},
+			wantErr: "ping_pong: non-positive slope",
+		},
+		{
+			name:    "negative copy time",
+			corrupt: func(m *Measurements) { m.Copies["mapped"][0].Seconds = -1 },
+			wantErr: "copies.mapped: need bytes > 0 and seconds > 0",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Synthesize(sys)
+			tc.corrupt(&m)
+			_, err := Fit(sys, m)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRegenerateSpecs rewrites the embedded preset spec files from the
+// current Systems() map when CLMPI_REGEN_SPECS=1. It is a maintenance
+// helper, not a test: run it after changing a preset or the wire schema,
+// then re-run the suite so the canonical-bytes gates pick up the new files.
+//
+//	CLMPI_REGEN_SPECS=1 go test -run TestRegenerateSpecs ./internal/cluster/
+func TestRegenerateSpecs(t *testing.T) {
+	if os.Getenv("CLMPI_REGEN_SPECS") != "1" {
+		t.Skip("set CLMPI_REGEN_SPECS=1 to rewrite internal/cluster/specs/*.json")
+	}
+	for name, sys := range Systems() {
+		data, err := EncodeSpec(sys)
+		if err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		path := "specs/" + name + ".json"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(data))
+	}
+}

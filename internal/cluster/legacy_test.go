@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The original hard-coded preset constructors, kept verbatim as oracles.
+// The presets are now data (specs/*.json decoded through DecodeSpec);
+// TestPresetsMatchLegacy gates that route bit-for-bit against these structs
+// so the declarative refactor cannot drift a single parameter. System holds
+// no pointers or slices, so reflect.DeepEqual is an exact field-for-field
+// comparison.
+
+func legacyCichlid() System {
+	return System{
+		Name:     "Cichlid",
+		MaxNodes: 4,
+		CPU: CPUSpec{
+			Model:   "Intel Core i7 930",
+			Sockets: 1,
+			Cores:   4,
+			GHz:     2.8,
+			GFLOPS:  9.0,
+			MemBW:   5.0e9,
+		},
+		GPU: GPUSpec{
+			Model:           "NVIDIA Tesla C2070",
+			MemBytes:        6 << 30,
+			SustainedGFLOPS: 8.0,
+			PinnedBW:        5.0e9,
+			PageableBW:      2.2e9,
+			MappedBW:        2.9e9,
+			PeerBW:          4.8e9,
+			PeerSetup:       20 * time.Microsecond,
+			DMALatency:      10 * time.Microsecond,
+			PinSetup:        930 * time.Microsecond,
+			MapSetup:        25 * time.Microsecond,
+			KernelLaunch:    8 * time.Microsecond,
+		},
+		NIC: NICSpec{
+			Model:       "Gigabit Ethernet",
+			BW:          117e6,
+			WireLatency: 30 * time.Microsecond,
+			MsgOverhead: 25 * time.Microsecond,
+			PeerDMA:     true,
+		},
+		Disk: DiskSpec{
+			Model: "7200rpm SATA HDD",
+			BW:    110e6,
+			Seek:  8 * time.Millisecond,
+		},
+		OS:              "CentOS 6.5",
+		Compiler:        "GCC 4.8.4",
+		Driver:          "290.10",
+		OpenCL:          "OpenCL 1.1 (CUDA 4.1.1)",
+		MPI:             "Open MPI 1.6.0",
+		DefaultStrategy: "mapped",
+	}
+}
+
+func legacyRICC() System {
+	return System{
+		Name:     "RICC",
+		MaxNodes: 100,
+		CPU: CPUSpec{
+			Model:   "Intel Xeon 5570 ×2",
+			Sockets: 2,
+			Cores:   4,
+			GHz:     2.93,
+			GFLOPS:  18.0,
+			MemBW:   6.0e9,
+		},
+		GPU: GPUSpec{
+			Model:           "NVIDIA Tesla C1060",
+			MemBytes:        4 << 30,
+			SustainedGFLOPS: 5.5,
+			PinnedBW:        5.2e9,
+			PageableBW:      1.4e9,
+			MappedBW:        0.8e9,
+			PeerBW:          5.0e9,
+			PeerSetup:       15 * time.Microsecond,
+			DMALatency:      12 * time.Microsecond,
+			PinSetup:        80 * time.Microsecond,
+			MapSetup:        50 * time.Microsecond,
+			KernelLaunch:    10 * time.Microsecond,
+		},
+		Disk: DiskSpec{
+			Model: "10krpm SAS HDD",
+			BW:    150e6,
+			Seek:  5 * time.Millisecond,
+		},
+		NIC: NICSpec{
+			Model:       "InfiniBand DDR (IPoIB)",
+			BW:          1.3e9,
+			WireLatency: 18 * time.Microsecond,
+			MsgOverhead: 15 * time.Microsecond,
+			PeerDMA:     true,
+		},
+		OS:              "RHEL 5.3",
+		Compiler:        "Intel Compiler 11.1",
+		Driver:          "295.41",
+		OpenCL:          "OpenCL 1.1 (CUDA 4.2.9)",
+		MPI:             "Open MPI 1.6.1",
+		DefaultStrategy: "pinned",
+	}
+}
+
+func legacyRICCVerbs() System {
+	sys := legacyRICC()
+	sys.Name = "RICC-verbs"
+	sys.NIC.Model = "InfiniBand DDR (native verbs)"
+	sys.NIC.BW = 1.9e9
+	sys.NIC.WireLatency = 5 * time.Microsecond
+	sys.NIC.MsgOverhead = 3 * time.Microsecond
+	sys.MPI = "Open MPI 1.6.1 (verbs, not thread-safe)"
+	return sys
+}
+
+// TestPresetsMatchLegacy is the oracle gate for the declarative refactor:
+// the presets decoded from specs/*.json must equal the former hard-coded
+// structs exactly.
+func TestPresetsMatchLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		legacy System
+		now    System
+	}{
+		{"cichlid", legacyCichlid(), Cichlid()},
+		{"ricc", legacyRICC(), RICC()},
+		{"ricc-verbs", legacyRICCVerbs(), RICCVerbs()},
+	} {
+		if !reflect.DeepEqual(tc.legacy, tc.now) {
+			t.Errorf("%s: decoded preset differs from legacy struct:\nlegacy: %+v\nnow:    %+v", tc.name, tc.legacy, tc.now)
+		}
+	}
+}

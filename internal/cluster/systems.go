@@ -1,6 +1,11 @@
 package cluster
 
-import "time"
+// The built-in presets are data: each accessor below returns the System
+// decoded from the matching canonical spec file under specs/ (embedded at
+// build time), so presets and user-supplied "describe your cluster" files
+// share exactly one construction route — DecodeSpec. legacy_test.go keeps
+// the original hard-coded structs as oracles and gates the decoded presets
+// bit-for-bit against them.
 
 // Cichlid reproduces the paper's small PC cluster (Table I): four nodes,
 // each one Intel Core i7 930 plus one NVIDIA Tesla C2070, connected by
@@ -12,68 +17,7 @@ import "time"
 // them is setup latency, where the mapped implementation wins — the paper's
 // explanation for clMPI beating the hand-optimized pinned implementation by
 // ≈14 % at four nodes (Fig. 9a).
-func Cichlid() System {
-	return System{
-		Name:     "Cichlid",
-		MaxNodes: 4,
-		CPU: CPUSpec{
-			Model:   "Intel Core i7 930",
-			Sockets: 1,
-			Cores:   4,
-			GHz:     2.8,
-			GFLOPS:  9.0,   // sustained host DP rate, ~20% of 44.8 peak
-			MemBW:   5.0e9, // triple-channel DDR3-1066 copy rate
-		},
-		GPU: GPUSpec{
-			Model:    "NVIDIA Tesla C2070",
-			MemBytes: 6 << 30,
-			// Sustained Himeno-class stencil rate. Calibrated so the
-			// Cichlid compute/communication ratio crosses 1.0 between
-			// two and four nodes, matching the annotation in Fig. 9(a).
-			SustainedGFLOPS: 8.0,
-			// PCIe gen2 x16. Pinned DMA ≈ 5 GB/s (bandwidthTest-class
-			// numbers); pageable bounce-buffering roughly halves it;
-			// mapped access sustains less than pinned DMA.
-			PinnedBW:   5.0e9,
-			PageableBW: 2.2e9,
-			MappedBW:   2.9e9,
-			// Counterfactual: GPUDirect RDMA postdates these GPUs (it
-			// shipped with Kepler). Modelled anyway so the peer strategy
-			// can be ablated — DMA across the root complex sustains a bit
-			// below the pinned host rate, and exposing a device region to
-			// the NIC is far cheaper than page-locking a fresh buffer.
-			PeerBW:     4.8e9,
-			PeerSetup:  20 * time.Microsecond,
-			DMALatency: 10 * time.Microsecond,
-			// CUDA 4.1-era page-locking of a fresh staging buffer is
-			// expensive; the one-shot pinned path pays this per
-			// transfer, which is why mapped wins at small sizes on this
-			// system (§V-B "due to the short latency of the
-			// implementation").
-			PinSetup:     930 * time.Microsecond,
-			MapSetup:     25 * time.Microsecond,
-			KernelLaunch: 8 * time.Microsecond,
-		},
-		NIC: NICSpec{
-			Model:       "Gigabit Ethernet",
-			BW:          117e6, // 1 Gb/s minus TCP/IP framing
-			WireLatency: 30 * time.Microsecond,
-			MsgOverhead: 25 * time.Microsecond,
-			PeerDMA:     true, // counterfactual, see GPUSpec.PeerBW
-		},
-		Disk: DiskSpec{
-			Model: "7200rpm SATA HDD",
-			BW:    110e6, // sequential rate of the era's desktop drives
-			Seek:  8 * time.Millisecond,
-		},
-		OS:              "CentOS 6.5",
-		Compiler:        "GCC 4.8.4",
-		Driver:          "290.10",
-		OpenCL:          "OpenCL 1.1 (CUDA 4.1.1)",
-		MPI:             "Open MPI 1.6.0",
-		DefaultStrategy: "mapped",
-	}
-}
+func Cichlid() System { return mustPreset("cichlid") }
 
 // RICC reproduces the RIKEN Integrated Cluster of Clusters partition of
 // Table I: up to one hundred nodes, each two Intel Xeon 5570s plus one
@@ -84,64 +28,7 @@ func Cichlid() System {
 // of host-device staging dominates (Fig. 8b): pinned beats mapped
 // everywhere, and pipelining approaches the pure wire rate by overlapping
 // the two hops.
-func RICC() System {
-	return System{
-		Name:     "RICC",
-		MaxNodes: 100,
-		CPU: CPUSpec{
-			Model:   "Intel Xeon 5570 ×2",
-			Sockets: 2,
-			Cores:   4,
-			GHz:     2.93,
-			GFLOPS:  18.0,
-			MemBW:   6.0e9,
-		},
-		GPU: GPUSpec{
-			Model:    "NVIDIA Tesla C1060",
-			MemBytes: 4 << 30,
-			// GT200 generation: lower stencil throughput than Fermi.
-			SustainedGFLOPS: 5.5,
-			PinnedBW:        5.2e9,
-			// GT200-era pageable writes bounce through driver staging;
-			// sustained rates well below half the pinned rate were
-			// typical.
-			PageableBW: 1.4e9,
-			// Pre-Fermi mapped (zero-copy) access is slow; combined
-			// with a cheaper pinning path in the CUDA 4.2 driver this
-			// makes pinned strictly better on RICC, matching Fig. 8(b).
-			MappedBW: 0.8e9,
-			// Counterfactual peer-DMA figures, as on Cichlid: just under
-			// the pinned DMA rate, with a cheap region registration.
-			PeerBW:       5.0e9,
-			PeerSetup:    15 * time.Microsecond,
-			DMALatency:   12 * time.Microsecond,
-			PinSetup:     80 * time.Microsecond,
-			MapSetup:     50 * time.Microsecond,
-			KernelLaunch: 10 * time.Microsecond,
-		},
-		Disk: DiskSpec{
-			Model: "10krpm SAS HDD",
-			BW:    150e6,
-			Seek:  5 * time.Millisecond,
-		},
-		NIC: NICSpec{
-			Model: "InfiniBand DDR (IPoIB)",
-			// 16 Gb/s signalling, ~1.3 GB/s payload through the IPoIB
-			// stack — well below verbs rate, as the paper accepts for
-			// thread safety.
-			BW:          1.3e9,
-			WireLatency: 18 * time.Microsecond,
-			MsgOverhead: 15 * time.Microsecond,
-			PeerDMA:     true, // counterfactual, see GPUSpec.PeerBW
-		},
-		OS:              "RHEL 5.3",
-		Compiler:        "Intel Compiler 11.1",
-		Driver:          "295.41",
-		OpenCL:          "OpenCL 1.1 (CUDA 4.2.9)",
-		MPI:             "Open MPI 1.6.1",
-		DefaultStrategy: "pinned",
-	}
-}
+func RICC() System { return mustPreset("ricc") }
 
 // RICCVerbs is the counterfactual the paper's §V-A footnote implies: RICC
 // with Open MPI speaking native InfiniBand verbs instead of IPoIB. The
@@ -149,22 +36,22 @@ func RICC() System {
 // (MPI_THREAD_MULTIPLE, which the clMPI runtime requires) forced the IPoIB
 // stack — so this preset quantifies the tax that choice paid: roughly 45 %
 // more wire bandwidth and much lower latency.
-func RICCVerbs() System {
-	sys := RICC()
-	sys.Name = "RICC-verbs"
-	sys.NIC.Model = "InfiniBand DDR (native verbs)"
-	sys.NIC.BW = 1.9e9 // DDR 4x payload rate under verbs
-	sys.NIC.WireLatency = 5 * time.Microsecond
-	sys.NIC.MsgOverhead = 3 * time.Microsecond
-	sys.MPI = "Open MPI 1.6.1 (verbs, not thread-safe)"
-	return sys
-}
+func RICCVerbs() System { return mustPreset("ricc-verbs") }
 
-// Systems returns the preset systems keyed by lower-case name.
+// Hopper is a modern H100-class system: PCIe gen5 hosts, NVLink-era peer
+// rates, and a 400G InfiniBand NDR fabric. It is far from both 2013 regimes:
+// the network sustains tens of GB/s (within 15% of PCIe), setup costs are
+// single-digit microseconds, and the GPU is three orders of magnitude faster
+// than a C2070 — so the what-if engine can explore where the paper's
+// strategy rules land on hardware people actually run today.
+func Hopper() System { return mustPreset("hopper") }
+
+// Systems returns the built-in presets keyed by lower-case name. The map is
+// freshly built per call; callers may mutate it.
 func Systems() map[string]System {
-	return map[string]System{
-		"cichlid":    Cichlid(),
-		"ricc":       RICC(),
-		"ricc-verbs": RICCVerbs(),
+	out := make(map[string]System, len(loadRegistry().systems))
+	for name, sys := range loadRegistry().systems {
+		out[name] = sys
 	}
+	return out
 }

@@ -13,32 +13,48 @@ import (
 // in declaration order with no insignificant whitespace, so the digest is
 // independent of how the submitting client ordered or formatted its JSON —
 // Decode's Unmarshal absorbed that — while Normalize has already absorbed
-// the semantic aliases (system case, strategy spellings, defaulted grids).
-// Two submissions hash equal exactly when their simulated results are
-// guaranteed byte-identical.
+// the semantic aliases (system case, strategy spellings, defaulted grids,
+// and inline system specs re-encoded to cluster's canonical compact form —
+// a RawMessage marshals verbatim, so those exact bytes are what the digest
+// sees, and an inline spec that describes a built-in preset has already
+// collapsed to the preset's name). Two submissions hash equal exactly when
+// their simulated results are guaranteed byte-identical; in particular two
+// spec files that merely share a system name still hash apart.
 //
 // Call with a Normalize output only; hashing a raw spec would let "cichlid"
 // and "Cichlid" content-address different cache entries.
 func Hash(norm JobSpec) string {
 	data, err := json.Marshal(norm)
 	if err != nil {
-		// JobSpec contains only strings, ints, and slices thereof;
-		// Marshal cannot fail on it.
+		// JobSpec holds strings, ints, slices thereof, and a SystemSpec
+		// that Normalize guarantees is valid JSON; Marshal cannot fail.
 		panic(fmt.Sprintf("serve: hash marshal: %v", err))
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }
 
-// Decode parses a JSON job submission strictly (unknown fields are an
+// DecodeRaw parses a JSON job submission strictly (unknown fields are an
 // error — a misspelled grid field silently meaning "use the default" would
-// poison the content address) and returns the normalized spec and its hash.
-func Decode(body []byte) (JobSpec, string, error) {
+// poison the content address) without normalizing it. The HTTP path uses
+// this: the Manager normalizes on Submit, after resolving daemon-registered
+// system names that plain Normalize does not know about.
+func DecodeRaw(body []byte) (JobSpec, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var spec JobSpec
 	if err := dec.Decode(&spec); err != nil {
-		return JobSpec{}, "", fmt.Errorf("serve: decode job: %w", err)
+		return JobSpec{}, fmt.Errorf("serve: decode job: %w", err)
+	}
+	return spec, nil
+}
+
+// Decode parses a JSON job submission strictly and returns the normalized
+// spec and its hash.
+func Decode(body []byte) (JobSpec, string, error) {
+	spec, err := DecodeRaw(body)
+	if err != nil {
+		return JobSpec{}, "", err
 	}
 	norm, err := Normalize(spec)
 	if err != nil {

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func specBytes(t *testing.T, sys cluster.System) []byte {
+	t.Helper()
+	data, err := cluster.EncodeSpec(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestInlineSpecCollapsesToPreset: an inline spec byte-for-byte describing a
+// built-in preset must normalize to the preset's name and hash identically
+// to the plain preset job — the cache-hit contract of satellite fix (b).
+func TestInlineSpecCollapsesToPreset(t *testing.T) {
+	preset, err := Normalize(JobSpec{System: "ricc", Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := Normalize(JobSpec{SystemSpec: specBytes(t, cluster.RICC()), Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.System != "ricc" || inline.SystemSpec != nil {
+		t.Fatalf("inline preset spec did not collapse: system=%q, spec=%d bytes", inline.System, len(inline.SystemSpec))
+	}
+	if Hash(preset) != Hash(inline) {
+		t.Fatal("inline spec of a preset must content-address the preset's cache entry")
+	}
+}
+
+// TestSameNameDifferentSpecsHashApart: two spec files sharing a Name but
+// differing in any parameter are different jobs.
+func TestSameNameDifferentSpecsHashApart(t *testing.T) {
+	a := cluster.RICC()
+	a.Name = "MyCluster"
+	b := a
+	b.NIC.BW = 2 * a.NIC.BW
+
+	ja, err := Normalize(JobSpec{SystemSpec: specBytes(t, a), Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := Normalize(JobSpec{SystemSpec: specBytes(t, b), Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(ja) == Hash(jb) {
+		t.Fatal("specs sharing a name but differing in parameters collided")
+	}
+	if ja.System != "" || len(ja.SystemSpec) == 0 {
+		t.Fatalf("non-preset inline spec must stay inline: system=%q", ja.System)
+	}
+}
+
+// TestInlineSpecFormattingInvariant: the content address must not depend on
+// the client's JSON formatting of the inline spec.
+func TestInlineSpecFormattingInvariant(t *testing.T) {
+	sys := cluster.RICC()
+	sys.Name = "MyCluster"
+	pretty := specBytes(t, sys)
+	compact, err := cluster.EncodeSpecCompact(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := Normalize(JobSpec{SystemSpec: pretty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := Normalize(JobSpec{SystemSpec: compact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(jp) != Hash(jc) {
+		t.Fatal("indented and compact encodings of one spec hashed apart")
+	}
+}
+
+// TestInlineSpecValidation: bad inline specs fail with the cluster layer's
+// field-path errors; giving both system and system_spec is rejected.
+func TestInlineSpecValidation(t *testing.T) {
+	if _, err := Normalize(JobSpec{System: "ricc", SystemSpec: specBytes(t, cluster.RICC())}); err == nil ||
+		!strings.Contains(err.Error(), "both system and system_spec") {
+		t.Fatalf("want both-fields error, got %v", err)
+	}
+	bad := []byte(`{"schema":"clmpi-system/v1","system":{"name":"X"}}`)
+	if _, err := Normalize(JobSpec{SystemSpec: bad}); err == nil ||
+		!strings.Contains(err.Error(), "system.nic: missing") {
+		t.Fatalf("want field-path validation error, got %v", err)
+	}
+	if _, err := Normalize(JobSpec{System: "bluegene"}); err == nil ||
+		!strings.Contains(err.Error(), "or submit an inline system_spec") {
+		t.Fatalf("unknown-system error must mention inline specs, got %v", err)
+	}
+}
+
+// TestInlineSpecJobRunsAndCaches: a custom inline-spec job simulates end to
+// end through the manager, and resubmitting it (in different formatting) is
+// a pure cache hit with byte-identical results.
+func TestInlineSpecJobRunsAndCaches(t *testing.T) {
+	sys := cluster.Cichlid()
+	sys.Name = "MyCluster"
+	sys.GPU.PinnedBW = 6.0e9
+
+	m, err := NewManager(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{SystemSpec: specBytes(t, sys), Strategies: []string{"pinned"}, Sizes: []int64{1 << 20, 4 << 20}}
+	j1, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(j1)
+	if j1.StatusNow() != StatusDone {
+		t.Fatalf("job failed: %v", j1.Err())
+	}
+	r1, _ := j1.ResultBytes()
+
+	compact, err := cluster.EncodeSpecCompact(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.Submit(JobSpec{SystemSpec: compact, Strategies: []string{"pinned"}, Sizes: []int64{1 << 20, 4 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(j2)
+	if !j2.Cached {
+		t.Fatal("resubmitted inline-spec job must be a cache hit")
+	}
+	r2, _ := j2.ResultBytes()
+	if string(r1) != string(r2) {
+		t.Fatal("cache hit returned different bytes")
+	}
+}
+
+// TestRegisteredSystems: a daemon-registered name resolves to its spec and
+// content-addresses identically to the same spec submitted inline.
+func TestRegisteredSystems(t *testing.T) {
+	sys := cluster.RICC()
+	sys.Name = "Lab42"
+	sys.NIC.WireLatency = sys.NIC.WireLatency / 2
+
+	m, err := NewManager(Options{Workers: 1, Systems: map[string]cluster.System{"lab42": sys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := m.Submit(JobSpec{System: "lab42", Strategies: []string{"mapped"}, Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(j1)
+	if j1.StatusNow() != StatusDone {
+		t.Fatalf("registered-name job failed: %v", j1.Err())
+	}
+	j2, err := m.Submit(JobSpec{SystemSpec: specBytes(t, sys), Strategies: []string{"mapped"}, Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(j2)
+	if j1.Hash != j2.Hash {
+		t.Fatal("registered name and inline spec of the same system hashed apart")
+	}
+	if !j2.Cached {
+		t.Fatal("inline resubmission of a registered system must cache-hit")
+	}
+
+	// The HTTP path must reach the same rewrite: a posted job naming a
+	// registered system must not be rejected by the strict decoder (which
+	// knows only the built-in presets) and must land on the same content
+	// address.
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"system":"lab42","strategies":["mapped"],"sizes":[1048576]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Status != StatusDone {
+		t.Fatalf("HTTP registered-name job ended %q (http %d): %s", st.Status, resp.StatusCode, st.Error)
+	}
+	if st.Hash != j1.Hash {
+		t.Fatalf("HTTP registered-name job hashed %s, want %s", st.Hash, j1.Hash)
+	}
+	if !st.Cached {
+		t.Fatal("HTTP registered-name job must cache-hit the earlier identical submission")
+	}
+
+	// A registered name must not shadow a built-in preset.
+	m2, err := NewManager(Options{Workers: 1, Systems: map[string]cluster.System{"ricc": sys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := m2.Submit(JobSpec{System: "ricc", Strategies: []string{"pinned"}, Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Spec.System != "ricc" || j3.Spec.SystemSpec != nil {
+		t.Fatal("registered system shadowed the built-in ricc preset")
+	}
+	m2.Cancel(j3.ID)
+	m2.Wait(j3)
+}

@@ -39,9 +39,18 @@ const maxP2PBytes = 1 << 30
 // bytes) and hash differently. JSON field order, by contrast, is not
 // semantic — Normalize canonicalizes it away.
 type JobSpec struct {
-	// System names a cluster.Systems preset (case-insensitive):
-	// cichlid, ricc, or ricc-verbs.
-	System string `json:"system"`
+	// System names a cluster preset (case-insensitive; see
+	// cluster.PresetNames) or, for a daemon started with -systems, one of
+	// its registered spec files. Leave empty when SystemSpec is given.
+	System string `json:"system,omitempty"`
+	// SystemSpec is an inline system description — a clmpi-system/v1
+	// document as produced by cluster.EncodeSpec — for clusters the daemon
+	// has no preset for. Normalize decodes it strictly and re-encodes it
+	// canonically (compact), so the content address depends only on the
+	// described system, never on the client's JSON formatting; an inline
+	// spec identical to a built-in preset collapses to the preset's name
+	// and content-addresses the same cache entry.
+	SystemSpec json.RawMessage `json:"system_spec,omitempty"`
 	// Workload selects the experiment family: "p2p" (default) measures
 	// device→device bandwidth per (strategy, message size) on a two-node
 	// world; "himeno" measures sustained GFLOPS per (implementation,
@@ -124,8 +133,34 @@ func MarshalResult(spec JobSpec, points []PointResult) ([]byte, error) {
 func Normalize(spec JobSpec) (JobSpec, error) {
 	n := spec
 	n.System = strings.ToLower(strings.TrimSpace(n.System))
-	if _, ok := cluster.Systems()[n.System]; !ok {
-		return JobSpec{}, fmt.Errorf("serve: unknown system %q (want cichlid, ricc, or ricc-verbs)", spec.System)
+	var sys cluster.System
+	if len(n.SystemSpec) > 0 {
+		if n.System != "" {
+			return JobSpec{}, fmt.Errorf("serve: job carries both system and system_spec (give one)")
+		}
+		var err error
+		sys, err = cluster.DecodeSpec(n.SystemSpec)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("serve: %w", err)
+		}
+		compact, err := cluster.EncodeSpecCompact(sys)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("serve: %w", err)
+		}
+		if name, ok := cluster.PresetByCanonical(compact); ok {
+			// The inline spec is a built-in preset; collapse to its name so
+			// both spellings content-address one cache entry.
+			n.System, n.SystemSpec = name, nil
+		} else {
+			n.SystemSpec = compact
+		}
+	} else {
+		n.SystemSpec = nil
+		var ok bool
+		if sys, ok = cluster.Systems()[n.System]; !ok {
+			return JobSpec{}, fmt.Errorf("serve: unknown system %q (presets: %s; or submit an inline system_spec)",
+				spec.System, strings.Join(cluster.PresetNames(), ", "))
+		}
 	}
 	if n.Workload == "" {
 		n.Workload = "p2p"
@@ -183,7 +218,7 @@ func Normalize(spec JobSpec) (JobSpec, error) {
 		}
 		n.Impls = canon
 		if len(n.Nodes) == 0 {
-			n.Nodes = bench.Fig9Nodes(cluster.Systems()[n.System])
+			n.Nodes = bench.Fig9Nodes(sys)
 		}
 		for _, nodes := range n.Nodes {
 			if nodes <= 0 || nodes > 1024 {
@@ -253,11 +288,26 @@ func (s JobSpec) slotWeight() int {
 	return 1
 }
 
+// System resolves a normalized spec's system description: the inline spec
+// when present, else the named preset.
+func (s JobSpec) ResolveSystem() (cluster.System, error) {
+	if len(s.SystemSpec) > 0 {
+		return cluster.DecodeSpec(s.SystemSpec)
+	}
+	if sys, ok := cluster.Systems()[s.System]; ok {
+		return sys, nil
+	}
+	return cluster.System{}, fmt.Errorf("serve: unknown system %q", s.System)
+}
+
 // RunPoint simulates grid point i of a normalized spec. The grid is flat,
 // first axis outer (strategies or impls), second axis inner (sizes or
 // nodes) — the row order a serial nested loop would produce.
 func RunPoint(spec JobSpec, i int) (PointResult, error) {
-	sys := cluster.Systems()[spec.System]
+	sys, err := spec.ResolveSystem()
+	if err != nil {
+		return PointResult{}, err
+	}
 	if spec.Workload == "matchscale" {
 		ranks := spec.Ranks[i]
 		pw := spec.ParallelWorld

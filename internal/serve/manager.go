@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -49,6 +51,14 @@ type Options struct {
 	// the default is part of the job's canonical spec and content address,
 	// and two daemons with different defaults never alias cache entries.
 	ParallelWorld int
+	// Systems registers extra named systems, keyed lower-case (clmpi-serve
+	// loads them from -systems spec files). Submit rewrites a job naming
+	// one of them into the equivalent inline-spec job before normalization:
+	// the name is daemon-local convenience, but the content address is the
+	// spec itself, so two daemons registering different specs under one
+	// name never alias cache entries. Built-in preset names cannot be
+	// shadowed.
+	Systems map[string]cluster.System
 }
 
 // PointEvent is one per-point progress notification: points complete in
@@ -195,6 +205,17 @@ func (m *Manager) Workers() int { return m.opts.Workers }
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if spec.Workload == "matchscale" && spec.ParallelWorld == 0 && m.opts.ParallelWorld > 1 {
 		spec.ParallelWorld = m.opts.ParallelWorld
+	}
+	if name := strings.ToLower(strings.TrimSpace(spec.System)); len(spec.SystemSpec) == 0 {
+		if sys, ok := m.opts.Systems[name]; ok {
+			if _, builtin := cluster.Systems()[name]; !builtin {
+				compact, err := cluster.EncodeSpecCompact(sys)
+				if err != nil {
+					return nil, fmt.Errorf("serve: registered system %q: %w", name, err)
+				}
+				spec.System, spec.SystemSpec = "", compact
+			}
+		}
 	}
 	norm, err := Normalize(spec)
 	if err != nil {

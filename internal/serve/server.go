@@ -59,7 +59,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body over %d bytes", maxBodyBytes))
 		return
 	}
-	spec, _, err := Decode(body)
+	// Strict decode only; Submit normalizes after resolving any
+	// daemon-registered system names.
+	spec, err := DecodeRaw(body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
