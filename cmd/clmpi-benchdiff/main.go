@@ -35,6 +35,7 @@ func main() {
 	flagPct := flag.Float64("flag", 50, "mark cells that slowed down by more than this percentage (0 disables)")
 	maxRegress := flag.Float64("max-regress", 0, "exit non-zero when any cell's ns/op exceeds this multiple of its baseline (e.g. 2 = fail on a >2x regression; 0 disables)")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "exit non-zero when any cell's allocs/op exceeds this multiple of its baseline; allocation counts are deterministic, so a tight limit like 1.1 is safe (0 disables)")
+	maxBytesRegress := flag.Float64("max-bytes-regress", 0, "exit non-zero when any cell's B/op exceeds this multiple of its baseline; heap bytes are deterministic like allocation counts, and this catches same-count-but-bigger allocations (0 disables)")
 	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked by -flag")
 	flag.Parse()
 
@@ -73,10 +74,15 @@ func main() {
 		fmt.Printf("GATE: %s allocates %.2fx its baseline (%d -> %d allocs/op), over the %.2fx limit\n",
 			d.Name, float64(d.CurrentAllocs)/float64(d.BaseAllocs), d.BaseAllocs, d.CurrentAllocs, *maxAllocRegress)
 	}
+	bytesExceeded := bench.BytesRegressionsBeyond(deltas, *maxBytesRegress)
+	for _, d := range bytesExceeded {
+		fmt.Printf("GATE: %s allocates %.2fx its baseline bytes (%d -> %d B/op), over the %.2fx limit\n",
+			d.Name, float64(d.CurrentBytes)/float64(d.BaseBytes), d.BaseBytes, d.CurrentBytes, *maxBytesRegress)
+	}
 	if flagged > 0 {
 		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", flagged, *flagPct)
 	}
-	if len(exceeded) > 0 || len(allocExceeded) > 0 || (*gate && flagged > 0) {
+	if len(exceeded) > 0 || len(allocExceeded) > 0 || len(bytesExceeded) > 0 || (*gate && flagged > 0) {
 		os.Exit(1)
 	}
 }

@@ -96,6 +96,12 @@ type BenchDelta struct {
 	BaseAllocs    int64
 	CurrentAllocs int64
 	AllocDeltaPct float64 // (current-base)/base * 100, 0 when BaseAllocs is 0
+	// Heap-byte comparison, filled when both sides report B/op. Allocation
+	// counts can stay flat while each allocation grows, so bytes get their
+	// own columns and their own gate.
+	BaseBytes     int64
+	CurrentBytes  int64
+	BytesDeltaPct float64 // (current-base)/base * 100, 0 when BaseBytes is 0
 }
 
 // DiffBench matches measured benchmarks against baseline grid keys. trim is
@@ -113,12 +119,16 @@ func DiffBench(base *BenchBaseline, cells map[string]BenchCell, trim string) (de
 		}
 		seen[key] = true
 		d := BenchDelta{Name: key, Base: b.NsPerOp, Current: c.NsPerOp,
-			BaseAllocs: b.AllocsPerOp, CurrentAllocs: c.AllocsPerOp}
+			BaseAllocs: b.AllocsPerOp, CurrentAllocs: c.AllocsPerOp,
+			BaseBytes: b.BytesPerOp, CurrentBytes: c.BytesPerOp}
 		if b.NsPerOp > 0 {
 			d.DeltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 		}
 		if b.AllocsPerOp > 0 {
 			d.AllocDeltaPct = float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp) * 100
+		}
+		if b.BytesPerOp > 0 {
+			d.BytesDeltaPct = float64(c.BytesPerOp-b.BytesPerOp) / float64(b.BytesPerOp) * 100
 		}
 		deltas = append(deltas, d)
 	}
@@ -169,19 +179,41 @@ func AllocRegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
 	return out
 }
 
+// BytesRegressionsBeyond returns the cells whose measured B/op exceeds
+// factor times the baseline, in name order. Like allocation counts, heap
+// bytes per op are exact, so the same tight factor as the alloc gate is
+// appropriate; it catches the "same number of allocations, each one bigger"
+// regression the alloc gate misses. Cells with no baseline B/op are never
+// returned.
+func BytesRegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
+	if factor <= 0 {
+		return nil
+	}
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.BaseBytes > 0 && float64(d.CurrentBytes) > factor*float64(d.BaseBytes) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // FormatBenchDiff renders the comparison as an aligned regression note.
 // Cells whose |delta| exceeds flagPct get a trailing marker; flagPct <= 0
 // disables the markers. The returned count is the number of flagged
 // regressions (ns/op slowdowns only — speedups and allocation drifts are
 // never flagged; allocation gating is AllocRegressionsBeyond's job).
-// Allocation columns appear only when some cell carries allocation data, so
-// baselines predating -benchmem keep their old rendering.
+// Allocation and byte columns appear only when some cell carries the
+// corresponding data, so baselines predating -benchmem keep their old
+// rendering.
 func FormatBenchDiff(deltas []BenchDelta, unmatched, missing []string, flagPct float64) (string, int) {
-	withAllocs := false
+	withAllocs, withBytes := false, false
 	for _, d := range deltas {
 		if d.BaseAllocs > 0 || d.CurrentAllocs > 0 {
 			withAllocs = true
-			break
+		}
+		if d.BaseBytes > 0 || d.CurrentBytes > 0 {
+			withBytes = true
 		}
 	}
 	rows := make([][]string, 0, len(deltas))
@@ -208,11 +240,24 @@ func FormatBenchDiff(deltas []BenchDelta, unmatched, missing []string, flagPct f
 				fmt.Sprintf("%d", d.CurrentAllocs),
 				dAlloc)
 		}
+		if withBytes {
+			dBytes := ""
+			if d.BaseBytes > 0 {
+				dBytes = fmt.Sprintf("%+.1f%%", d.BytesDeltaPct)
+			}
+			row = append(row,
+				fmt.Sprintf("%d", d.BaseBytes),
+				fmt.Sprintf("%d", d.CurrentBytes),
+				dBytes)
+		}
 		rows = append(rows, append(row, mark))
 	}
 	headers := []string{"benchmark", "base ns/op", "now ns/op", "delta"}
 	if withAllocs {
 		headers = append(headers, "base allocs", "now allocs", "delta")
+	}
+	if withBytes {
+		headers = append(headers, "base B/op", "now B/op", "delta")
 	}
 	headers = append(headers, "")
 	var b strings.Builder

@@ -115,6 +115,48 @@ func TestAllocRegressionsBeyond(t *testing.T) {
 	}
 }
 
+func TestBytesRegressionsBeyond(t *testing.T) {
+	deltas := []BenchDelta{
+		{Name: "steady", BaseBytes: 4096, CurrentBytes: 4200}, // 1.03x: under a 1.1 gate
+		{Name: "bloated", BaseBytes: 4096, CurrentBytes: 8192},
+		// The case the alloc gate waves through: allocation count flat,
+		// every allocation twice as big.
+		{Name: "fatter", BaseAllocs: 100, CurrentAllocs: 100, BaseBytes: 1000, CurrentBytes: 2000},
+		{Name: "new", BaseBytes: 0, CurrentBytes: 1 << 20},   // no baseline: never gated
+		{Name: "slimmer", BaseBytes: 4096, CurrentBytes: 64}, // improvement
+	}
+	got := BytesRegressionsBeyond(deltas, 1.1)
+	if len(got) != 2 || got[0].Name != "bloated" || got[1].Name != "fatter" {
+		t.Fatalf("BytesRegressionsBeyond(1.1) = %+v", got)
+	}
+	if out := AllocRegressionsBeyond(deltas, 1.1); out != nil {
+		t.Fatalf("alloc gate should miss the fatter-allocations case, got %+v", out)
+	}
+	if out := BytesRegressionsBeyond(deltas, 0); out != nil {
+		t.Fatalf("factor 0 must disable the gate, got %+v", out)
+	}
+}
+
+// TestFormatBenchDiffBytesColumns checks the B/op columns appear exactly
+// when some delta carries byte data, and that byte drift alone never
+// contributes to the flagged count (gating on bytes is
+// BytesRegressionsBeyond's job).
+func TestFormatBenchDiffBytesColumns(t *testing.T) {
+	withB := []BenchDelta{{Name: "cell", Base: 100, Current: 101, DeltaPct: 1,
+		BaseBytes: 1024, CurrentBytes: 2048, BytesDeltaPct: 100}}
+	note, flagged := FormatBenchDiff(withB, nil, nil, 5)
+	if flagged != 0 {
+		t.Fatalf("byte drift flagged as an ns/op regression:\n%s", note)
+	}
+	if !strings.Contains(note, "base B/op") || !strings.Contains(note, "+100.0%") {
+		t.Fatalf("byte columns missing:\n%s", note)
+	}
+	without := []BenchDelta{{Name: "cell", Base: 100, Current: 101, DeltaPct: 1}}
+	if note, _ := FormatBenchDiff(without, nil, nil, 5); strings.Contains(note, "B/op") {
+		t.Fatalf("byte columns rendered without data:\n%s", note)
+	}
+}
+
 // TestFormatBenchDiffAllocColumns checks the allocation columns appear
 // exactly when some delta carries allocation data, and that allocation
 // drift alone never contributes to the flagged count (gating on allocations

@@ -33,11 +33,17 @@ type MatchPoint struct {
 	MaxPostedHW     int
 	MaxUnexpectedHW int
 	// Parts and Workers describe the partitioned engine configuration that
-	// produced the point (both zero for a serial run); Windows counts the
-	// conservative synchronization windows it drove.
+	// produced the point (both zero for a serial run). Windows, Stalls, and
+	// Adverts are the engine's scheduling counters — windows executed, shard
+	// blocks, and floor advertisements. They depend on host scheduling (a
+	// worker that runs ahead blocks more often), so like HostMS they describe
+	// the run that produced the point and must never be compared for
+	// determinism.
 	Parts   int    `json:"Parts,omitempty"`
 	Workers int    `json:"Workers,omitempty"`
 	Windows uint64 `json:"Windows,omitempty"`
+	Stalls  uint64 `json:"Stalls,omitempty"`
+	Adverts uint64 `json:"Adverts,omitempty"`
 }
 
 // matchWorkload runs the dense exchange on a freshly built world and
@@ -133,7 +139,8 @@ func matchRankBody(outstanding, wildPct, rounds int) func(p *sim.Proc, ep *mpi.E
 // `parts` shards driven by `workers` host cores, and returns the filled
 // point. The event streams — and therefore SimMS and the high-water marks —
 // are a deterministic function of (sys, ranks, outstanding, wildPct, rounds,
-// parts) alone; workers only changes HostMS.
+// parts) alone; workers only changes HostMS and the scheduling counters
+// (Windows/Stalls/Adverts).
 func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int) (MatchPoint, error) {
 	if outstanding > ranks-1 {
 		outstanding = ranks - 1
@@ -145,7 +152,7 @@ func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, 
 		sys.MaxNodes = ranks
 	}
 	start := time.Now()
-	pe := sim.NewPartitionedEngine(parts, sys.NIC.WireLatency)
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, ranks, parts))
 	pw := mpi.NewPartWorld(pe, sys, ranks)
 	pw.LaunchRanks("matchscale", matchRankBody(outstanding, wildPct, rounds))
 	if err := pw.Run(workers); err != nil {
@@ -156,7 +163,8 @@ func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, 
 		Messages: ranks * outstanding * rounds,
 		SimMS:    pe.Now().Seconds() * 1e3,
 		HostMS:   float64(time.Since(start)) / 1e6,
-		Parts:    parts, Workers: workers, Windows: pe.Windows(),
+		Parts:    parts, Workers: workers,
+		Windows: pe.Windows(), Stalls: pe.Stalls(), Adverts: pe.Adverts(),
 	}
 	for r := 0; r < ranks; r++ {
 		p, u := pw.MatchQueueHighWater(r)
@@ -207,8 +215,9 @@ func MatchScalePartitioned(sys cluster.System, rankCounts []int, outstanding, wi
 }
 
 // MatchScaleTable renders the sweep for the CLI tools. Partitioned points
-// (any Parts > 0) add the partition geometry and conservative-window count
-// as extra columns.
+// (any Parts > 0) add the partition geometry and the scheduling counters
+// (windows, stalls, adverts — host-scheduling dependent, like host ms) as
+// extra columns.
 func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
 	headers = []string{"ranks", "out/rank", "wild%", "messages", "sim ms", "host ms", "peak posted", "peak unexpected"}
 	partitioned := false
@@ -219,7 +228,7 @@ func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
 		}
 	}
 	if partitioned {
-		headers = append(headers, "parts", "workers", "windows")
+		headers = append(headers, "parts", "workers", "windows", "stalls", "adverts")
 	}
 	for _, pt := range points {
 		row := []string{
@@ -236,7 +245,9 @@ func MatchScaleTable(points []MatchPoint) (headers []string, rows [][]string) {
 			row = append(row,
 				fmt.Sprintf("%d", pt.Parts),
 				fmt.Sprintf("%d", pt.Workers),
-				fmt.Sprintf("%d", pt.Windows))
+				fmt.Sprintf("%d", pt.Windows),
+				fmt.Sprintf("%d", pt.Stalls),
+				fmt.Sprintf("%d", pt.Adverts))
 		}
 		rows = append(rows, row)
 	}

@@ -77,7 +77,7 @@ func TracePartitioned(name string, ranks, parts, workers int) (*trace.Bus, error
 	if sys.MaxNodes < ranks {
 		sys.MaxNodes = ranks
 	}
-	pe := sim.NewPartitionedEngine(parts, sys.NIC.WireLatency)
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, ranks, parts))
 	pw := mpi.NewPartWorld(pe, sys, ranks)
 	tracers := trace.InstrumentPart(pw)
 	pw.LaunchRanks("tracepart", matchRankBody(3, 25, 2))

@@ -51,4 +51,27 @@ func BenchmarkPDES(b *testing.B) {
 			}
 		}
 	}
+	// Wider splits on the RICC preset: 8-way at the historical 10k-rank
+	// point, and the 100k-rank cell that only exists partitioned — a serial
+	// run at that size is pure wait, so the partitioned engine is the only
+	// configuration worth pinning there.
+	ricc := cluster.RICC()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("engine=part/parts=8/workers=%d/ranks=10000", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matchWorkloadPart(ricc, 10000, 8, 25, 1, 8, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("engine=part/parts=8/workers=4/ranks=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := matchWorkloadPart(ricc, 100000, 8, 25, 1, 8, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -25,9 +25,11 @@ import (
 //	        the sender runs the data phase against the live send buffer →
 //	        cross data event → rx charges → receive completes.
 //
-// Both directions honour the conservative window protocol: every cross event
-// lands at least one wire latency after the instant it was produced, which is
-// exactly the engine's lookahead.
+// Both directions honour the conservative channel protocol: every cross
+// event lands at least one wire latency after the instant it was produced,
+// which is at least the lookahead-matrix entry for its shard pair
+// (cluster.LookaheadMatrix never exceeds the wire latency), so each shard's
+// per-channel horizon admits every event before it can matter.
 //
 // Divergences from the serial model, by construction: the sender's tx and the
 // receiver's rx occupancy are charged one latency apart instead of
@@ -57,7 +59,7 @@ func NewPartWorld(pe *sim.PartitionedEngine, sys cluster.System, n int) *PartWor
 	}
 	pw := &PartWorld{pe: pe, sys: sys, size: n, shards: make([]*World, k)}
 	for i := 0; i < k; i++ {
-		lo, hi := i*n/k, (i+1)*n/k
+		lo, hi := cluster.PartRange(n, k, i)
 		c := cluster.NewPartial(pe.Shard(i), sys, n, lo, hi)
 		w := NewWorld(c)
 		w.part = &partShard{
@@ -86,7 +88,7 @@ func (pw *PartWorld) Engine() *sim.PartitionedEngine { return pw.pe }
 func (pw *PartWorld) Shard(i int) *World { return pw.shards[i] }
 
 // owner maps a rank to the index of the partition hosting it — the inverse
-// of the balanced [i*n/k, (i+1)*n/k) split.
+// of the balanced cluster.PartRange split.
 func (pw *PartWorld) owner(rank int) int {
 	return ((rank+1)*len(pw.shards) - 1) / pw.size
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -144,7 +145,7 @@ func runSerial(t *testing.T, sys cluster.System, n int, body func(*sim.Proc, *En
 // streams and the end time.
 func runPart(t *testing.T, sys cluster.System, n, parts, workers int, body func(*sim.Proc, *Endpoint)) ([][]MsgEvent, sim.Time) {
 	t.Helper()
-	pe := sim.NewPartitionedEngine(parts, sys.NIC.WireLatency)
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, n, parts))
 	pw := NewPartWorld(pe, sys, n)
 	recs := make([]*evRec, parts)
 	pw.SetMsgObserver(func(shard int) MsgObserver {
@@ -270,11 +271,67 @@ func TestPartitionMatchWorkloadEquivalent(t *testing.T) {
 	}
 }
 
+// TestPartitionPropertyRandomShards: randomized shard counts, 1 through 8,
+// drawn from a fixed-seed generator so failures replay. For every sampled
+// (system, ranks, parts): a single-partition world must match the serial
+// engine bit-for-bit, and a parts-worker run must match a 1-worker run of
+// the same split — identical per-shard streams (hence identical merged
+// streams) and identical end times.
+func TestPartitionPropertyRandomShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for name, mk := range map[string]func() cluster.System{
+		"cichlid": cluster.Cichlid, "ricc": cluster.RICC,
+	} {
+		for trial := 0; trial < 4; trial++ {
+			parts := 1 + rng.Intn(8)
+			n := parts + 2 + rng.Intn(10)
+			t.Run(fmt.Sprintf("%s/n%d/k%d", name, n, parts), func(t *testing.T) {
+				sys := mk()
+				if sys.MaxNodes < n {
+					sys.MaxNodes = n
+				}
+				sev, send := runSerial(t, sys, n, richBody)
+				p1, end1 := runPart(t, sys, n, parts, 1, richBody)
+				pk, endk := runPart(t, sys, n, parts, parts, richBody)
+				if end1 != endk {
+					t.Fatalf("end time: workers=1 %v, workers=%d %v", end1, parts, endk)
+				}
+				for i := range p1 {
+					if !reflect.DeepEqual(p1[i], pk[i]) {
+						t.Fatalf("shard %d streams diverge between workers=1 and workers=%d", i, parts)
+					}
+				}
+				if parts == 1 {
+					if send != end1 {
+						t.Fatalf("end time: serial %v, 1-partition %v", send, end1)
+					}
+					if !reflect.DeepEqual(sev, p1[0]) {
+						t.Fatalf("1-partition stream diverges from serial")
+					}
+				} else {
+					// Across the serial/partitioned transport boundary only
+					// the event count is directly comparable (cross events
+					// carry shard-local delivery detail); end times match
+					// whenever no cross rendezvous reshapes the schedule, so
+					// assert the cheap invariant that both runs completed.
+					total := 0
+					for _, s := range p1 {
+						total += len(s)
+					}
+					if total == 0 && len(sev) != 0 {
+						t.Fatalf("partitioned run observed no events, serial observed %d", len(sev))
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestPartitionCrossDeadlock: an unmatched cross-partition Ssend must
 // surface as a merged deadlock report naming the blocked rank.
 func TestPartitionCrossDeadlock(t *testing.T) {
 	sys := cluster.Cichlid()
-	pe := sim.NewPartitionedEngine(2, sys.NIC.WireLatency)
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, 4, 2))
 	pw := NewPartWorld(pe, sys, 4)
 	pw.LaunchRanks("rank", func(p *sim.Proc, ep *Endpoint) {
 		if ep.Rank() == 0 {
@@ -303,7 +360,7 @@ func TestPartitionCrossDeadlock(t *testing.T) {
 // sender completion on truncation, and cross Ssend completion.
 func TestPartitionCrossPayloads(t *testing.T) {
 	sys := cluster.RICC()
-	pe := sim.NewPartitionedEngine(2, sys.NIC.WireLatency)
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, 4, 2))
 	pw := NewPartWorld(pe, sys, 4)
 	pw.LaunchRanks("rank", func(p *sim.Proc, ep *Endpoint) {
 		comm := ep.World().Comm()

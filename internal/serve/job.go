@@ -97,14 +97,14 @@ type PointResult struct {
 	Nodes  int     `json:"nodes,omitempty"`
 	GFLOPS float64 `json:"gflops,omitempty"`
 
-	// Matchscale fields. SimMS and Windows are deterministic (virtual time
-	// and window count do not depend on host parallelism), so matchscale
-	// results stay byte-stable and cacheable; host wall-clock is
-	// deliberately excluded.
+	// Matchscale fields. Only deterministic quantities belong here: SimMS is
+	// virtual time, a pure function of the spec. The engine's scheduling
+	// counters (windows/stalls/adverts) vary with host scheduling under the
+	// asynchronous protocol and are excluded for the same reason host
+	// wall-clock is — cached results must be byte-stable.
 	Ranks    int     `json:"ranks,omitempty"`
 	Messages int     `json:"messages,omitempty"`
 	SimMS    float64 `json:"sim_ms,omitempty"`
-	Windows  uint64  `json:"windows,omitempty"`
 }
 
 // Result is the canonical serialized form of a finished job: the normalized
@@ -315,7 +315,7 @@ func RunPoint(spec JobSpec, i int) (PointResult, error) {
 		if err != nil {
 			return PointResult{}, fmt.Errorf("serve: matchscale ranks=%d: %w", ranks, err)
 		}
-		return PointResult{Ranks: ranks, Messages: pt.Messages, SimMS: pt.SimMS, Windows: pt.Windows}, nil
+		return PointResult{Ranks: ranks, Messages: pt.Messages, SimMS: pt.SimMS}, nil
 	}
 	if spec.Workload == "himeno" {
 		implName, nodes := spec.Impls[i/len(spec.Nodes)], spec.Nodes[i%len(spec.Nodes)]

@@ -38,6 +38,41 @@ func (p *Pool[T]) Put(x *T) {
 // Len reports how many recycled objects are shelved.
 func (p *Pool[T]) Len() int { return len(p.free) }
 
+// Slabs is a free list of reusable slices. Get returns an empty slice with
+// whatever capacity a previous Put shelved; Put clears the slice (releasing
+// element references to the collector) and shelves its storage. The
+// cross-partition channels recycle their struct-of-arrays event batches
+// through one Slabs per element type, so steady-state delivery of cross
+// events allocates nothing. Unlike Pool and Arena a Slabs may be guarded by
+// a host mutex and shared — it holds no per-element state.
+type Slabs[T any] struct {
+	free [][]T
+}
+
+// Get returns a length-zero slice, reusing shelved capacity when available.
+func (s *Slabs[T]) Get() []T {
+	if n := len(s.free); n > 0 {
+		x := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return x
+	}
+	return nil
+}
+
+// Put clears x and shelves its storage for reuse. The caller must guarantee
+// no other reference to x's backing array survives.
+func (s *Slabs[T]) Put(x []T) {
+	if cap(x) == 0 {
+		return
+	}
+	clear(x[:cap(x)])
+	s.free = append(s.free, x[:0])
+}
+
+// Len reports how many recycled slabs are shelved.
+func (s *Slabs[T]) Len() int { return len(s.free) }
+
 // Arena is a chunked slab allocator for objects with a common lifetime:
 // Alloc hands out slots, Reset recycles every slot at once while keeping
 // the chunk storage. Windowed drivers use arenas for per-window scratch

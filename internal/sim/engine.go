@@ -50,6 +50,13 @@ type Engine struct {
 	xq    []func(p *Proc)
 	xhead int
 	xproc *Proc // parked xdeliver daemon awaiting work, if any
+
+	// Cross-event heap: timestamped cross-partition arrivals, merged in by
+	// the partition driver and delivered as a batch per instant in the
+	// (at, src, seq) total order. Local timers win tied instants, so
+	// delivery order is a function of the event set alone — never of when a
+	// batch happened to arrive relative to local work.
+	xheap crossHeap
 }
 
 // procRing is a growable FIFO of processes. Unlike the head-slicing
@@ -324,37 +331,32 @@ func (e *Engine) runWindow(limit Time) {
 }
 
 // nextEventTime reports the instant of the shard's earliest pending work —
-// a ready process (now) or the earliest timer — and false when the shard is
-// fully quiescent. The partition driver uses the global minimum across
-// shards as the base of the next conservative window.
+// a ready process (now), the earliest timer, or the earliest undelivered
+// cross event (clamped to now) — and false when the shard is fully
+// quiescent. The partition driver compares it against the shard's channel
+// horizon to decide whether the shard can run.
 func (e *Engine) nextEventTime() (Time, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ready.len() > 0 {
 		return e.now, true
 	}
+	t, have := Time(0), false
 	if e.nextValid {
-		return e.nextTimer.at, true
+		t, have = e.nextTimer.at, true
+	} else if len(e.timers) > 0 {
+		t, have = e.timers[0].at, true
 	}
-	if len(e.timers) > 0 {
-		return e.timers[0].at, true
+	if len(e.xheap) > 0 {
+		ct := e.xheap[0].at
+		if ct < e.now {
+			ct = e.now
+		}
+		if !have || ct < t {
+			t, have = ct, true
+		}
 	}
-	return 0, false
-}
-
-// scheduleFnAt schedules fn to run in scheduler context at absolute instant
-// t (clamped to now). The partition driver injects cross-partition arrivals
-// with it between windows.
-func (e *Engine) scheduleFnAt(t Time, fn func()) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.stopped {
-		return
-	}
-	if t < e.now {
-		t = e.now
-	}
-	e.atLocked(t, fn)
+	return t, have
 }
 
 // shutdown tears the simulation down (normally when err is nil) and waits
@@ -515,6 +517,65 @@ func (e *Engine) timerDueLocked() bool {
 	return !e.windowed || e.timers[0].at < e.limit
 }
 
+// earliestTimerAtLocked reports the earliest pending timer's instant.
+// Callers must have checked havePendingTimerLocked (or timerDueLocked).
+func (e *Engine) earliestTimerAtLocked() Time {
+	if e.nextValid {
+		return e.nextTimer.at
+	}
+	return e.timers[0].at
+}
+
+// crossDueLocked reports whether a cross-event batch may be delivered, and
+// at what instant: the heap's earliest event clamped to now, if that lies
+// strictly before the window limit.
+func (e *Engine) crossDueLocked() (bool, Time) {
+	if len(e.xheap) == 0 {
+		return false, 0
+	}
+	at := e.xheap[0].at
+	if at < e.now {
+		at = e.now
+	}
+	if e.windowed && at >= e.limit {
+		return false, 0
+	}
+	return true, at
+}
+
+// deliverCrossBatchLocked advances the clock to `at` and hands every cross
+// event due at that instant to the xdeliver daemon, in (at, src, seq) order
+// (the heap's order). Delivering the whole instant as one batch keeps the
+// daemon's execution order independent of how the events were split across
+// driver drains.
+func (e *Engine) deliverCrossBatchLocked(at Time) {
+	e.now = at
+	for len(e.xheap) > 0 && e.xheap[0].at <= e.now {
+		ev := e.xheap.pop()
+		e.pushCrossLocked(ev.fn)
+	}
+}
+
+// crossAtNowLocked reports whether an undelivered cross event is due at the
+// current instant — only possible in the serial fallback, where arrivals are
+// clamped to the target's clock.
+func (e *Engine) crossAtNowLocked() bool {
+	return len(e.xheap) > 0 && e.xheap[0].at <= e.now
+}
+
+// pushCrossEvent merges one timestamped cross event into the shard's heap.
+// The partition driver calls it while draining channels (the shard idle) and
+// Cross calls it directly for same-shard events (the shard's own process
+// context); both orderings are deterministic.
+func (e *Engine) pushCrossEvent(ev crossTimer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.xheap.push(ev)
+}
+
 // timerAtNowLocked reports whether the earliest pending timer would fire at
 // the current instant.
 func (e *Engine) timerAtNowLocked() bool {
@@ -578,7 +639,8 @@ func (e *Engine) scheduleLocked() {
 			p.resume <- struct{}{}
 			return
 		}
-		if e.timerDueLocked() {
+		crossDue, crossAt := e.crossDueLocked()
+		if e.timerDueLocked() && !(crossDue && crossAt < e.earliestTimerAtLocked()) {
 			ev := e.popTimerLocked()
 			if ev.at < e.now {
 				panic("sim: timer in the past")
@@ -592,6 +654,10 @@ func (e *Engine) scheduleLocked() {
 			default:
 				ev.fn() // may append to e.ready or push timers
 			}
+			continue
+		}
+		if crossDue {
+			e.deliverCrossBatchLocked(crossAt)
 			continue
 		}
 		if e.windowed {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,61 +10,195 @@ import (
 )
 
 // Partitioned parallel execution: one simulation split into K shards, each a
-// windowed Engine running its own event loop, synchronized by a conservative
-// window protocol. The lookahead comes from the modelled hardware — a
-// cross-shard interaction (an MPI message crossing a partition boundary)
-// cannot take effect earlier than the fabric's wire latency after it is
-// initiated — so all shards may execute the window [T, T+lookahead) in
-// parallel without coordination: every event one shard could inject into
-// another lands at or beyond the window horizon.
+// windowed Engine running its own event loop, synchronized by an
+// asynchronous conservative protocol (null-message style).
 //
-// Windows are driven in lockstep:
+// The lookahead comes from the modelled hardware, per ordered shard pair: a
+// cross-shard interaction cannot take effect earlier than L[from][to] after
+// it is initiated — the fabric's wire latency between shards on disjoint
+// nodes, the PCIe/DMA hop where a partition boundary cuts through a node,
+// +inf for pairs with no channel at all. Each shard therefore advances
+// independently to its channel horizon
 //
-//	T  := min over shards of next-event time (global virtual-time floor)
-//	H  := T + lookahead
-//	run every shard up to (but excluding) H, in parallel
-//	drain cross-shard events (deterministically ordered) into target shards
+//	horizon(i) = min over finite incoming channels j of (floor(j) + L[j][i])
 //
-// Because the windows are causally independent, each shard's execution is a
-// deterministic function of its own event set — the worker count changes
-// wall-clock time only, never the event streams. A zero lookahead disables
-// the independence argument, so the driver falls back to serial semantics:
-// one event instant per window, shards executed in index order on the
-// caller's goroutine.
+// where floor(j) is shard j's published clock advertisement: a lower bound
+// on every instant j will ever execute again, and hence (plus L) on every
+// cross event j will ever emit. Shards run continuously on a pool of worker
+// goroutines — there is no global barrier and no global window — and only
+// stall on the channels that actually constrain them. A stalled shard whose
+// events all sit at or beyond its horizon publishes its horizon as its own
+// floor (the null message), which unblocks its dependents in turn; when
+// every shard is simultaneously stalled the driver runs a global
+// advertisement fixpoint that either frees the shard holding the earliest
+// event or proves the simulation finished (or deadlocked).
+//
+// Deadlock freedom: with every finite L > 0, consider any reachable state
+// where events remain. The shard m holding the globally minimal floor
+// anchor has floor(m) = its next event time (a relaxation through another
+// shard would add L > 0 and exceed the minimum), and its horizon —
+// min over j of floor(j) + L[j][m] with floor(j) >= floor(m) — is then
+// strictly greater than floor(m). So m can always execute, and the
+// fixpoint always makes progress.
+//
+// Determinism: a shard executes instant t only when t < horizon, and every
+// event another shard could still emit toward it lands at or beyond
+// floor + L >= horizon > t — so by the time t runs, all cross events at t
+// are already merged into the shard's heap, where the (at, src shard, src
+// seq) total order fixes the delivery order. Each shard's event stream is a
+// pure function of the event set; the worker count changes wall-clock time
+// only. A zero lookahead voids the independence argument, so the driver
+// falls back to serial semantics: one event instant per window, shards
+// executed in index order on the caller's goroutine.
 
-// PartitionedEngine coordinates K windowed shard engines.
-type PartitionedEngine struct {
-	shards    []*Engine
-	lookahead Time
-	horizon   Time // current window's upper bound, for lookahead violation checks
+// timeInf is the saturation point of virtual time: a lookahead matrix entry
+// equal to it (cluster.InfLookahead) marks a non-communicating shard pair.
+const timeInf = Time(math.MaxInt64)
 
-	// inbox[from*K+to] collects cross events emitted by shard `from` for
-	// shard `to` during the current window. Each row is written by exactly
-	// one shard, so no locking is needed while a window runs; rows and the
-	// merge scratch are recycled every window (arena-style).
-	inbox   [][]crossEvent
-	seqs    []uint64 // per-source cross-event counters, for tie-breaking
-	scratch []crossEvent
-
-	started bool
-	windows uint64
-	err     error
-}
-
-// crossEvent is one deferred cross-shard interaction. fn runs in the target
-// shard's resident xdeliver daemon — real process context, so it may use the
-// non-blocking simulation APIs (fire triggers, put to queues, spawn) but
-// must not park.
-type crossEvent struct {
+// crossTimer is one cross-shard event resident in a target shard's heap.
+// fn runs in the shard's xdeliver daemon — real process context, so it may
+// use the non-blocking simulation APIs (fire triggers, put to queues,
+// spawn) but must not park.
+type crossTimer struct {
 	at  Time
 	src int32
 	seq uint64
 	fn  func(p *Proc)
 }
 
-// NewPartitionedEngine creates parts windowed shard engines with the given
-// conservative lookahead. A lookahead of zero is legal and falls back to
-// serial window semantics (see Run).
+// crossBefore is the (time, source shard, source sequence) total order —
+// the same order the lockstep predecessor sorted merged inbox rows by.
+func crossBefore(a, b crossTimer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// crossHeap is a hand-rolled binary min-heap of cross events, for the same
+// reason timerHeap is: container/heap would box every event.
+type crossHeap []crossTimer
+
+func (h *crossHeap) push(ev crossTimer) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !crossBefore(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *crossHeap) pop() crossTimer {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = crossTimer{} // release the fn closure
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && crossBefore(s[r], s[l]) {
+			m = r
+		}
+		if !crossBefore(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// mergeCrossEvents pushes one drained channel batch into the shard's heap.
+// Sequence numbers are reconstructed as seq0+i: a channel's events are
+// appended in emission order under its mutex, so the slab index recovers
+// the per-channel sequence exactly.
+func (e *Engine) mergeCrossEvents(src int32, seq0 uint64, at []Time, fn []func(p *Proc)) {
+	e.mu.Lock()
+	if !e.stopped {
+		for i := range at {
+			e.xheap.push(crossTimer{at: at[i], src: src, seq: seq0 + uint64(i), fn: fn[i]})
+		}
+	}
+	e.mu.Unlock()
+}
+
+// xchan is the channel between one ordered shard pair: a struct-of-arrays
+// slab of in-flight events plus the per-channel emission counter. The
+// producing shard appends under mu; the consuming shard swaps the slab out
+// whole and recycles it through the Slabs free lists — steady-state cross
+// delivery allocates nothing.
+type xchan struct {
+	mu   sync.Mutex
+	at   []Time
+	fn   []func(p *Proc)
+	seq0 uint64 // per-channel sequence of at[0]
+	seq  uint64 // emission counter
+
+	ats Slabs[Time]
+	fns Slabs[func(p *Proc)]
+}
+
+// shardState tracks a shard's position in the worker protocol.
+type shardState uint8
+
+const (
+	shardRunnable shardState = iota // queued for a worker
+	shardRunning                    // a worker is stepping it
+	shardBlocked                    // waiting for a channel floor to advance
+)
+
+// PartitionedEngine coordinates K windowed shard engines.
+type PartitionedEngine struct {
+	shards []*Engine
+	k      int
+	la     []Time  // lookahead matrix, row-major [from*k+to]; timeInf = no channel
+	minLA  Time    // smallest finite off-diagonal entry (timeInf if none)
+	serial bool    // zero-lookahead fallback: serial window semantics
+	chans  []xchan // per ordered pair, row-major [from*k+to]
+
+	// floors[i] is shard i's published clock advertisement. Monotone
+	// non-decreasing; written by the worker currently stepping shard i (or
+	// by the quiescence fixpoint, which runs only when every shard is
+	// stalled), read lock-free by every other shard's horizon computation.
+	floors []atomic.Int64
+
+	// Worker-pool state, guarded by mu. runq is a compacting FIFO of
+	// runnable shards (each shard queued at most once).
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    []shardState
+	dirty    []bool // floor advanced while the shard was mid-step
+	runq     []int
+	qhead    int
+	blockedN int
+	stopping bool
+
+	started bool
+	err     error
+
+	windows atomic.Uint64 // per-shard horizon windows executed
+	stalls  atomic.Uint64 // shard transitions into the blocked state
+	adverts atomic.Uint64 // clock advertisements published
+}
+
+// NewPartitionedEngine creates parts windowed shard engines with a uniform
+// conservative lookahead between every pair. A lookahead of zero is legal
+// and falls back to serial window semantics (see Run).
 func NewPartitionedEngine(parts int, lookahead time.Duration) *PartitionedEngine {
 	if parts < 1 {
 		panic("sim: partitioned engine needs at least one partition")
@@ -71,11 +206,64 @@ func NewPartitionedEngine(parts int, lookahead time.Duration) *PartitionedEngine
 	if lookahead < 0 {
 		lookahead = 0
 	}
+	la := make([][]time.Duration, parts)
+	for i := range la {
+		la[i] = make([]time.Duration, parts)
+		for j := range la[i] {
+			if i == j {
+				la[i][j] = time.Duration(timeInf)
+			} else {
+				la[i][j] = lookahead
+			}
+		}
+	}
+	return NewPartitionedEngineMatrix(la)
+}
+
+// NewPartitionedEngineMatrix creates one windowed shard engine per row of
+// the lookahead matrix la, where la[from][to] bounds how much later than
+// shard from's clock a cross event on that channel can land
+// (cluster.LookaheadMatrix derives it from a system topology). Entries of
+// math.MaxInt64 (cluster.InfLookahead) mark non-communicating pairs; the
+// diagonal is ignored. Any finite non-positive entry voids the conservative
+// independence argument, so the whole engine falls back to serial window
+// semantics.
+func NewPartitionedEngineMatrix(la [][]time.Duration) *PartitionedEngine {
+	k := len(la)
+	if k < 1 {
+		panic("sim: partitioned engine needs at least one partition")
+	}
 	pe := &PartitionedEngine{
-		lookahead: Time(lookahead),
-		shards:    make([]*Engine, parts),
-		inbox:     make([][]crossEvent, parts*parts),
-		seqs:      make([]uint64, parts),
+		k:      k,
+		shards: make([]*Engine, k),
+		la:     make([]Time, k*k),
+		minLA:  timeInf,
+		chans:  make([]xchan, k*k),
+		floors: make([]atomic.Int64, k),
+		state:  make([]shardState, k),
+		dirty:  make([]bool, k),
+	}
+	pe.cond = sync.NewCond(&pe.mu)
+	for from := 0; from < k; from++ {
+		if len(la[from]) != k {
+			panic("sim: lookahead matrix is not square")
+		}
+		for to := 0; to < k; to++ {
+			d := Time(la[from][to])
+			if from == to {
+				d = timeInf
+			}
+			pe.la[from*k+to] = d
+			if from == to || d == timeInf {
+				continue
+			}
+			if d <= 0 {
+				pe.serial = true
+			}
+			if d < pe.minLA {
+				pe.minLA = d
+			}
+		}
 	}
 	for i := range pe.shards {
 		e := newWindowedEngine()
@@ -90,17 +278,36 @@ func NewPartitionedEngine(parts int, lookahead time.Duration) *PartitionedEngine
 }
 
 // Parts reports the number of partitions.
-func (pe *PartitionedEngine) Parts() int { return len(pe.shards) }
+func (pe *PartitionedEngine) Parts() int { return pe.k }
 
 // Shard returns partition i's engine; simulation layers spawn processes and
 // build modelled hardware on it exactly as on a serial engine.
 func (pe *PartitionedEngine) Shard(i int) *Engine { return pe.shards[i] }
 
-// Lookahead reports the conservative window width.
-func (pe *PartitionedEngine) Lookahead() time.Duration { return time.Duration(pe.lookahead) }
+// Lookahead reports the tightest finite channel lookahead — the shortest
+// stall any shard pair can impose on another (zero in the serial fallback
+// or when no pair communicates).
+func (pe *PartitionedEngine) Lookahead() time.Duration {
+	if pe.serial || pe.minLA == timeInf {
+		return 0
+	}
+	return time.Duration(pe.minLA)
+}
 
-// Windows reports how many synchronization windows have been driven.
-func (pe *PartitionedEngine) Windows() uint64 { return pe.windows }
+// Windows reports how many shard horizon windows have been executed. Unlike
+// the lockstep predecessor's global count this is a per-shard total, and in
+// an asynchronous run its value depends on host scheduling — report it, but
+// never compare it across runs.
+func (pe *PartitionedEngine) Windows() uint64 { return pe.windows.Load() }
+
+// Stalls reports how many times a shard ran out of executable events below
+// its channel horizon and had to wait for a neighbour's advertisement.
+// Host-scheduling dependent, like Windows.
+func (pe *PartitionedEngine) Stalls() uint64 { return pe.stalls.Load() }
+
+// Adverts reports how many clock advertisements (null messages) shards
+// published. Host-scheduling dependent, like Windows.
+func (pe *PartitionedEngine) Adverts() uint64 { return pe.adverts.Load() }
 
 // Now reports the frontier virtual time: the maximum across shard clocks.
 // After Run returns it is the simulation's end time.
@@ -117,42 +324,362 @@ func (pe *PartitionedEngine) Now() Time {
 // Err reports the simulation outcome after Run has returned.
 func (pe *PartitionedEngine) Err() error { return pe.err }
 
+// satAdd is a+b saturating at timeInf (never overflowing). Both operands
+// must be non-negative.
+func satAdd(a, b Time) Time {
+	if a >= timeInf-b {
+		return timeInf
+	}
+	return a + b
+}
+
 // Cross schedules fn on shard `to` at virtual instant `at`, tagged as
 // originating from shard `from`. It must be called from simulation context
-// on shard `from` (or during setup, before Run). With a positive lookahead,
-// at must lie at or beyond the current window horizon — the conservative
+// on shard `from` (or during setup, before Run). In an asynchronous run, at
+// must lie at or beyond floor(from)+L[from][to] — the conservative
 // protocol's correctness condition — and the driver panics otherwise.
 func (pe *PartitionedEngine) Cross(from, to int, at Time, fn func(p *Proc)) {
-	if pe.lookahead > 0 && at < pe.horizon {
-		panic(fmt.Sprintf("sim: cross-partition event at %v violates window horizon %v (lookahead %v)",
-			at, pe.horizon, time.Duration(pe.lookahead)))
+	k := pe.k
+	ch := &pe.chans[from*k+to]
+	if from == to {
+		// Same-shard events skip the channel slab: pushed straight into the
+		// shard's own heap from its own context, deterministically.
+		ch.mu.Lock()
+		ch.seq++
+		seq := ch.seq
+		ch.mu.Unlock()
+		pe.shards[to].pushCrossEvent(crossTimer{at: at, src: int32(from), seq: seq, fn: fn})
+		return
 	}
-	pe.seqs[from]++
-	k := len(pe.shards)
-	pe.inbox[from*k+to] = append(pe.inbox[from*k+to], crossEvent{
-		at: at, src: int32(from), seq: pe.seqs[from], fn: fn,
-	})
+	if !pe.serial && pe.started {
+		la := pe.la[from*k+to]
+		if la == timeInf {
+			panic(fmt.Sprintf("sim: cross-partition event %d->%d on a channel the lookahead matrix declares non-communicating", from, to))
+		}
+		if floor := Time(pe.floors[from].Load()); at < satAdd(floor, la) {
+			panic(fmt.Sprintf("sim: cross-partition event at %v violates window horizon %v (channel %d->%d lookahead %v)",
+				at, satAdd(floor, la), from, to, time.Duration(la)))
+		}
+	}
+	ch.mu.Lock()
+	ch.seq++
+	if len(ch.at) == 0 {
+		ch.seq0 = ch.seq
+	}
+	ch.at = append(ch.at, at)
+	ch.fn = append(ch.fn, fn)
+	ch.mu.Unlock()
+}
+
+// drainChannel swaps the (from, to) channel's slab out and merges it into
+// shard to's heap, recycling the slab storage. Only shard to's stepping
+// worker (or the quiescence fixpoint) calls it. The channel floor must be
+// loaded *before* the drain: the producer appends events before publishing
+// the floor that covers them, so a reader of the floor is guaranteed to see
+// every event the resulting horizon admits.
+func (pe *PartitionedEngine) drainChannel(from, to int) {
+	ch := &pe.chans[from*pe.k+to]
+	ch.mu.Lock()
+	if len(ch.at) == 0 {
+		ch.mu.Unlock()
+		return
+	}
+	at, fn, seq0 := ch.at, ch.fn, ch.seq0
+	ch.at, ch.fn = ch.ats.Get(), ch.fns.Get()
+	ch.mu.Unlock()
+	pe.shards[to].mergeCrossEvents(int32(from), seq0, at, fn)
+	ch.mu.Lock()
+	ch.ats.Put(at)
+	ch.fns.Put(fn)
+	ch.mu.Unlock()
+}
+
+// publishFloor raises shard i's clock advertisement to v and wakes every
+// stalled shard with a channel from i. Floors are monotone; a no-op when v
+// does not exceed the current advertisement.
+func (pe *PartitionedEngine) publishFloor(i int, v Time) {
+	if v <= Time(pe.floors[i].Load()) {
+		return
+	}
+	pe.floors[i].Store(int64(v))
+	pe.adverts.Add(1)
+	woke := false
+	pe.mu.Lock()
+	for to := 0; to < pe.k; to++ {
+		if to == i || pe.la[i*pe.k+to] == timeInf {
+			continue
+		}
+		switch pe.state[to] {
+		case shardBlocked:
+			pe.state[to] = shardRunnable
+			pe.blockedN--
+			pe.pushRunqLocked(to)
+			woke = true
+		case shardRunning:
+			// The shard may have sampled floors before this publish; make
+			// its worker re-step instead of stalling on stale horizons.
+			pe.dirty[to] = true
+		}
+	}
+	pe.mu.Unlock()
+	if woke {
+		pe.cond.Broadcast()
+	}
+}
+
+// step advances shard i once: load the incoming floors (computing the
+// horizon), drain the incoming channels, and — when the shard holds an
+// event below the horizon — run one window up to it. Reports whether a
+// window was executed.
+func (pe *PartitionedEngine) step(i int) bool {
+	k := pe.k
+	horizon := timeInf
+	for from := 0; from < k; from++ {
+		if from == i || pe.la[from*k+i] == timeInf {
+			continue
+		}
+		f := Time(pe.floors[from].Load())
+		if h := satAdd(f, pe.la[from*k+i]); h < horizon {
+			horizon = h
+		}
+	}
+	for from := 0; from < k; from++ {
+		if from != i {
+			pe.drainChannel(from, i)
+		}
+	}
+	s := pe.shards[i]
+	next, ok := s.nextEventTime()
+	if !ok {
+		// No pending events at all: any future work arrives from a
+		// neighbour, whose own advertisement already bounds it. Publishing
+		// the ever-growing horizon here would let two idle shards advertise
+		// each other toward infinity; staying silent instead hands the
+		// no-events case to the quiescence fixpoint.
+		return false
+	}
+	if next >= horizon {
+		// Stalled, but holding a real event: advertise the horizon — every
+		// instant this shard will ever execute is >= horizon — so
+		// dependents can advance past us (the null message).
+		pe.publishFloor(i, horizon)
+		return false
+	}
+	pe.publishFloor(i, next)
+	pe.windows.Add(1)
+	s.runWindow(horizon)
+	pe.publishFloor(i, horizon)
+	return true
+}
+
+// pushRunqLocked appends a shard to the runnable FIFO, compacting the
+// consumed prefix in place of growing (each shard is queued at most once,
+// so capacity 2k never reallocates).
+func (pe *PartitionedEngine) pushRunqLocked(i int) {
+	if pe.qhead > 0 && len(pe.runq) == cap(pe.runq) {
+		n := copy(pe.runq, pe.runq[pe.qhead:])
+		pe.runq, pe.qhead = pe.runq[:n], 0
+	}
+	pe.runq = append(pe.runq, i)
+}
+
+func (pe *PartitionedEngine) popRunqLocked() (int, bool) {
+	if pe.qhead == len(pe.runq) {
+		pe.runq, pe.qhead = pe.runq[:0], 0
+		return 0, false
+	}
+	i := pe.runq[pe.qhead]
+	pe.qhead++
+	return i, true
+}
+
+// worker is one host goroutine of the shard pool: claim a runnable shard,
+// step it, requeue or stall it, and trigger the quiescence fixpoint when it
+// was the last shard standing.
+func (pe *PartitionedEngine) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	pe.mu.Lock()
+	for !pe.stopping {
+		i, ok := pe.popRunqLocked()
+		if !ok {
+			pe.cond.Wait()
+			continue
+		}
+		pe.state[i] = shardRunning
+		pe.dirty[i] = false
+		pe.mu.Unlock()
+		ran := pe.step(i)
+		pe.mu.Lock()
+		if pe.stopping {
+			break
+		}
+		if ran || pe.dirty[i] {
+			pe.dirty[i] = false
+			pe.state[i] = shardRunnable
+			pe.pushRunqLocked(i)
+			continue
+		}
+		pe.state[i] = shardBlocked
+		pe.blockedN++
+		pe.stalls.Add(1)
+		if pe.blockedN == pe.k && pe.qhead == len(pe.runq) {
+			pe.quiesceLocked()
+		}
+	}
+	pe.mu.Unlock()
+}
+
+// quiesceLocked runs when every shard is simultaneously stalled: compute
+// the advertisement fixpoint from the real event anchors, re-wake every
+// shard whose next event clears its resulting horizon, or — when none does
+// — decide completion or deadlock. Callers hold pe.mu; with all shards
+// stalled no worker touches floors or channels concurrently.
+func (pe *PartitionedEngine) quiesceLocked() {
+	k := pe.k
+	for to := 0; to < k; to++ {
+		for from := 0; from < k; from++ {
+			if from != to {
+				pe.drainChannel(from, to)
+			}
+		}
+	}
+	next := make([]Time, k)
+	for i, s := range pe.shards {
+		if n, ok := s.nextEventTime(); ok {
+			next[i] = n
+		} else {
+			next[i] = timeInf
+		}
+	}
+	// Floor fixpoint, relaxed downward from the event anchors
+	// (Bellman-style): floor(i) = min(next(i), min over finite channels
+	// j->i of floor(j)+L[j][i]). Relaxations only shorten toward sums over
+	// simple paths (every L > 0), so the loop terminates; with no events
+	// anywhere every floor saturates at timeInf immediately — the
+	// incremental climb two idle shards could otherwise feed each other is
+	// structurally impossible here.
+	fl := make([]Time, k)
+	copy(fl, next)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if j == i || pe.la[j*k+i] == timeInf {
+					continue
+				}
+				if v := satAdd(fl[j], pe.la[j*k+i]); v < fl[i] {
+					fl[i] = v
+					changed = true
+				}
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if fl[i] > Time(pe.floors[i].Load()) {
+			pe.floors[i].Store(int64(fl[i]))
+			pe.adverts.Add(1)
+		}
+	}
+	runnable := false
+	for i := 0; i < k; i++ {
+		if next[i] == timeInf {
+			continue
+		}
+		horizon := timeInf
+		for j := 0; j < k; j++ {
+			if j == i || pe.la[j*k+i] == timeInf {
+				continue
+			}
+			if h := satAdd(fl[j], pe.la[j*k+i]); h < horizon {
+				horizon = h
+			}
+		}
+		if next[i] < horizon {
+			pe.state[i] = shardRunnable
+			pe.blockedN--
+			pe.pushRunqLocked(i)
+			runnable = true
+		}
+	}
+	if runnable {
+		pe.cond.Broadcast()
+		return
+	}
+	for i := 0; i < k; i++ {
+		if next[i] != timeInf {
+			// Unreachable with all finite L > 0 (see the progress argument
+			// in the package comment); a loud failure beats a silent hang.
+			panic("sim: asynchronous conservative protocol stuck with pending events")
+		}
+	}
+	alive := 0
+	for _, s := range pe.shards {
+		alive += s.aliveNonDaemons()
+	}
+	if alive == 0 {
+		pe.finishLocked(nil)
+		return
+	}
+	var blocked []string
+	for _, s := range pe.shards {
+		blocked = append(blocked, s.blocked()...)
+	}
+	sort.Strings(blocked)
+	pe.finishLocked(&DeadlockError{Time: pe.Now(), Blocked: blocked})
+}
+
+// finishLocked records the outcome and releases every worker.
+func (pe *PartitionedEngine) finishLocked(err error) {
+	pe.err = err
+	pe.stopping = true
+	pe.cond.Broadcast()
 }
 
 // Run drives the simulation to completion on up to `workers` host cores
 // (workers <= 0 means one per partition) and returns nil on normal
 // completion or a merged *DeadlockError when no shard can make progress.
-// With zero lookahead the worker count is forced to one: windows shrink to
-// a single event instant and shards execute in index order, which is the
-// serial-semantics fallback.
+// In the serial fallback (zero lookahead) the worker count is irrelevant:
+// windows shrink to a single event instant and shards execute in index
+// order on the caller's goroutine.
 func (pe *PartitionedEngine) Run(workers int) error {
 	if pe.started {
 		panic("sim: PartitionedEngine.Run called twice")
 	}
 	pe.started = true
-	if workers <= 0 {
-		workers = len(pe.shards)
+	if pe.serial {
+		return pe.runSerial()
 	}
-	if pe.lookahead <= 0 {
-		workers = 1
+	k := pe.k
+	if workers <= 0 || workers > k {
+		workers = k
 	}
+	pe.runq = make([]int, 0, 2*k)
+	for i := 0; i < k; i++ {
+		pe.state[i] = shardRunnable
+		pe.runq = append(pe.runq, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go pe.worker(&wg)
+	}
+	wg.Wait()
+	pe.shutdown(pe.err)
+	return pe.err
+}
+
+// runSerial is the zero-lookahead fallback: lockstep one-instant windows,
+// shards in index order, cross events drained every window and clamped to
+// the target's clock on delivery — serial reference semantics.
+func (pe *PartitionedEngine) runSerial() error {
 	for {
-		pe.drain()
+		for to := 0; to < pe.k; to++ {
+			for from := 0; from < pe.k; from++ {
+				if from != to {
+					pe.drainChannel(from, to)
+				}
+			}
+		}
 		var t Time
 		any := false
 		for _, s := range pe.shards {
@@ -178,86 +705,10 @@ func (pe *PartitionedEngine) Run(workers int) error {
 			pe.shutdown(err)
 			return err
 		}
-		h := t + 1
-		if pe.lookahead > 0 {
-			h = t + pe.lookahead
-		}
-		pe.horizon = h
-		pe.windows++
-		pe.runWindow(h, workers)
-	}
-}
-
-// runWindow executes every shard up to the window limit. Shards are claimed
-// from an atomic counter by `workers` goroutines; one worker degenerates to
-// an in-order loop on the caller — the serial reference execution.
-func (pe *PartitionedEngine) runWindow(limit Time, workers int) {
-	if workers > len(pe.shards) {
-		workers = len(pe.shards)
-	}
-	if workers <= 1 {
+		pe.windows.Add(1)
 		for _, s := range pe.shards {
-			s.runWindow(limit)
+			s.runWindow(t + 1)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := int(next.Add(1)) - 1
-				if n >= len(pe.shards) {
-					return
-				}
-				pe.shards[n].runWindow(limit)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// drain merges each target shard's pending cross events — sorted by
-// (time, source shard, source sequence), a total deterministic order — and
-// schedules them as timers that hand the closures to the shard's xdeliver
-// daemon. Inbox rows and the merge scratch are reset for reuse, so the
-// steady state allocates nothing.
-func (pe *PartitionedEngine) drain() {
-	k := len(pe.shards)
-	for to := 0; to < k; to++ {
-		evs := pe.scratch[:0]
-		for from := 0; from < k; from++ {
-			row := pe.inbox[from*k+to]
-			evs = append(evs, row...)
-			for i := range row {
-				row[i].fn = nil
-			}
-			pe.inbox[from*k+to] = row[:0]
-		}
-		if len(evs) == 0 {
-			continue
-		}
-		sort.Slice(evs, func(i, j int) bool {
-			a, b := evs[i], evs[j]
-			if a.at != b.at {
-				return a.at < b.at
-			}
-			if a.src != b.src {
-				return a.src < b.src
-			}
-			return a.seq < b.seq
-		})
-		tgt := pe.shards[to]
-		for _, ev := range evs {
-			fn := ev.fn
-			tgt.scheduleFnAt(ev.at, func() { tgt.pushCrossLocked(fn) })
-		}
-		for i := range evs {
-			evs[i].fn = nil
-		}
-		pe.scratch = evs[:0]
 	}
 }
 

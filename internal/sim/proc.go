@@ -77,7 +77,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	}
 	e := p.eng
 	e.mu.Lock()
-	if d == 0 && !e.stopped && e.ready.len() == 0 && !e.timerAtNowLocked() {
+	if d == 0 && !e.stopped && e.ready.len() == 0 && !e.timerAtNowLocked() && !e.crossAtNowLocked() {
 		// Nothing else can run at this instant, so the yield is a no-op:
 		// return without the park/resume channel round-trip. Event order is
 		// unchanged — any process or timer due now takes the slow path.

@@ -26,9 +26,15 @@ type Trigger struct {
 	w0      *Proc   // first waiter
 	waiters []*Proc // overflow waiters
 	// callbacks run in scheduler context when the trigger fires; they must
-	// not block. Used for OpenCL-style event callbacks and event chaining.
+	// not block. Used for OpenCL-style event callbacks.
 	cb0       func(at Time, payload any)
 	callbacks []func(at Time, payload any)
+	// chained triggers fire (same instant, same payload) right after the
+	// callbacks. Dedicated slots rather than closures over the callback list:
+	// chaining is the per-message hot path, and the inline slot makes it
+	// allocation-free.
+	chain0 *Trigger
+	chains []*Trigger
 }
 
 // NewTrigger creates an unfired trigger. The label appears in deadlock
@@ -136,6 +142,15 @@ func (t *Trigger) fireLocked(at Time, payload any) {
 	for _, cb := range cbs {
 		cb(at, payload)
 	}
+	ch := t.chain0
+	chs := t.chains
+	t.chain0, t.chains = nil, nil
+	if ch != nil {
+		ch.fireLocked(at, payload)
+	}
+	for _, ch := range chs {
+		ch.fireLocked(at, payload)
+	}
 }
 
 // Wait blocks process p until the trigger fires and returns its payload.
@@ -180,7 +195,8 @@ func (t *Trigger) OnFire(fn func(at Time, payload any)) {
 }
 
 // Chain arranges for other to fire (with the same payload) at the instant t
-// fires. If t has already fired, other fires immediately.
+// fires, after t's OnFire callbacks. If t has already fired, other fires
+// immediately. Chaining costs no allocation in the common one-chain case.
 func (t *Trigger) Chain(other *Trigger) {
 	e := t.eng
 	e.mu.Lock()
@@ -189,13 +205,10 @@ func (t *Trigger) Chain(other *Trigger) {
 		other.fireLocked(e.now, t.payload)
 		return
 	}
-	fn := func(at Time, payload any) {
-		other.fireLocked(at, payload)
-	}
-	if t.cb0 == nil && len(t.callbacks) == 0 {
-		t.cb0 = fn
+	if t.chain0 == nil && len(t.chains) == 0 {
+		t.chain0 = other
 	} else {
-		t.callbacks = append(t.callbacks, fn)
+		t.chains = append(t.chains, other)
 	}
 }
 
