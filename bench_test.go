@@ -517,7 +517,7 @@ func BenchmarkServe(b *testing.B) {
 				serveBurst(b, ts, jobs, bodyFor)
 			}
 			b.StopTimer()
-			if hits := mgr.Counter("serve.cache.hits"); hits < float64(jobs*b.N) {
+			if hits := mgr.Counter("clmpi_serve_cache_hits_total"); hits < float64(jobs*b.N) {
 				b.Fatalf("warm burst missed the cache: %v hits, want >= %d", hits, jobs*b.N)
 			}
 			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")

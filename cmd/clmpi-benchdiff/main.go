@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -37,6 +38,9 @@ func main() {
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "exit non-zero when any cell's allocs/op exceeds this multiple of its baseline; allocation counts are deterministic, so a tight limit like 1.1 is safe (0 disables)")
 	maxBytesRegress := flag.Float64("max-bytes-regress", 0, "exit non-zero when any cell's B/op exceeds this multiple of its baseline; heap bytes are deterministic like allocation counts, and this catches same-count-but-bigger allocations (0 disables)")
 	gate := flag.Bool("gate", false, "exit non-zero when any cell is marked by -flag")
+	pairPrefix := flag.String("pair-prefix", "", "compare every measured cell named PREFIX+X against cell X of the same run (baseline-free: same-run pairing cancels host speed, so tight bounds are meaningful)")
+	maxPairRegress := flag.Float64("max-pair-regress", 0, "with -pair-prefix, exit non-zero when a prefixed cell's ns/op exceeds this multiple of its twin (e.g. 1.03 = fail when the prefixed variant is >3% slower; 0 disables)")
+	maxPairAllocs := flag.Int64("max-pair-allocs", -1, "with -pair-prefix, exit non-zero when a prefixed cell makes more than this many additional allocs/op over its twin (0 demands parity; negative disables)")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseline)
@@ -82,7 +86,37 @@ func main() {
 	if flagged > 0 {
 		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", flagged, *flagPct)
 	}
-	if len(exceeded) > 0 || len(allocExceeded) > 0 || len(bytesExceeded) > 0 || (*gate && flagged > 0) {
+	var pairViolations []string
+	if *pairPrefix != "" {
+		// Pair on trimmed names: cells come out of ParseGoBench keyed
+		// "BenchmarkPDES/obs=on/...", but the prefix is expressed in the same
+		// grid-name space the baselines use ("obs=on/...").
+		paired := cells
+		if *trim != "" {
+			paired = make(map[string]bench.BenchCell, len(cells))
+			for n, c := range cells {
+				paired[strings.TrimPrefix(n, *trim)] = c
+			}
+		}
+		pairs, missing := bench.PairDeltas(paired, *pairPrefix)
+		if len(pairs) == 0 {
+			fatal(fmt.Errorf("-pair-prefix %q matched no cell pairs", *pairPrefix))
+		}
+		for _, p := range pairs {
+			fmt.Printf("pair %s vs %s: %.3fx ns/op (%.0f vs %.0f), %+d allocs/op\n",
+				p.Name, p.Against, p.A.NsPerOp/p.B.NsPerOp, p.A.NsPerOp, p.B.NsPerOp,
+				p.A.AllocsPerOp-p.B.AllocsPerOp)
+		}
+		for _, n := range missing {
+			fmt.Printf("pair cell %s has no unprefixed twin in this run\n", n)
+		}
+		pairViolations = bench.PairViolations(pairs, *maxPairRegress, *maxPairAllocs)
+		for _, v := range pairViolations {
+			fmt.Println(v)
+		}
+	}
+	if len(exceeded) > 0 || len(allocExceeded) > 0 || len(bytesExceeded) > 0 ||
+		len(pairViolations) > 0 || (*gate && flagged > 0) {
 		os.Exit(1)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -43,6 +44,7 @@ func main() {
 	outstanding := flag.Int("outstanding", 32, "outstanding sends and receives per rank in the -ranks sweep")
 	wild := flag.Int("wild", 25, "percentage of wildcard receives in the -ranks sweep")
 	parallelWorld := flag.Int("parallel-world", 0, "run each -ranks point on a partitioned engine with this many partitions and host workers (0 = the serial engine)")
+	obsReport := flag.Bool("obs-report", false, "with -parallel-world, attribute each shard's host wall time to simulate/stall/advert/merge and print the report after the -ranks sweep")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all host cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -76,13 +78,22 @@ func main() {
 		}
 		fmt.Printf("\nLarge-world matching scaling on %s (%d outstanding ops/rank, %d%% wildcards)\n\n",
 			sys.Name, *outstanding, *wild)
-		points, err := bench.MatchScalePartitioned(sys, counts, *outstanding, *wild, 2, *parallelWorld, *parallelWorld)
+		var sm *obs.Sim
+		if *obsReport && *parallelWorld > 1 {
+			sm = obs.NewSim(obs.NewRegistry(), obs.NewRecorder(*parallelWorld, 0))
+			sm.DeadlockDump = os.Stderr
+		}
+		points, err := bench.MatchScalePartitionedObs(sys, counts, *outstanding, *wild, 2, *parallelWorld, *parallelWorld, sm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clmpi-bw: %v\n", err)
 			os.Exit(1)
 		}
 		h, r := bench.MatchScaleTable(points)
 		fmt.Print(bench.FormatTable(h, r))
+		if sm != nil {
+			fmt.Printf("\nHost-time attribution (all partitioned points pooled)\n\n")
+			sm.Report(os.Stdout)
+		}
 	}
 
 	if *traceOut == "" && !*metrics && !*critReport && *flame == "" {

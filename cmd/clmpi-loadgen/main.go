@@ -21,11 +21,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -71,9 +72,10 @@ func main() {
 	resultSums := make([][32]byte, *jobs)
 	ok := true
 	for b := 0; b < *bursts; b++ {
-		hitsBefore := cacheHits(client, base)
+		hitsBefore := scrapeMetric(client, base, "clmpi_serve_cache_hits_total")
 		bs, sums := runBurst(client, base, *jobs, *concurrency, *system, inlineSpec, *spread, *sizeBase)
-		bs.CacheHits = cacheHits(client, base) - hitsBefore
+		bs.CacheHits = scrapeMetric(client, base, "clmpi_serve_cache_hits_total") - hitsBefore
+		bs.CacheHitRatio = scrapeMetric(client, base, "clmpi_serve_cache_hit_ratio")
 		for i, sum := range sums {
 			if b == 0 {
 				resultSums[i] = sum
@@ -113,17 +115,25 @@ type Summary struct {
 	Results []Burst `json:"results"`
 }
 
-// Burst aggregates one burst's outcome.
+// Burst aggregates one burst's outcome. Latency quantiles come from a
+// fixed-bucket obs.Histogram — constant memory however large the burst, at
+// the price of bucket-resolution quantiles (each quantile reads as its
+// bucket's upper bound, clamped to the observed maximum). CacheHits is the
+// burst's delta of the daemon's clmpi_serve_cache_hits_total counter;
+// CacheHitRatio is the daemon's lifetime ratio gauge after the burst — both
+// scraped from the Prometheus /metricz exposition.
 type Burst struct {
-	Errors     int     `json:"errors"`
-	Mismatches int     `json:"result_mismatches"`
-	Seconds    float64 `json:"seconds"`
-	JobsPerSec float64 `json:"jobs_per_s"`
-	P50ms      float64 `json:"p50_ms"`
-	P90ms      float64 `json:"p90_ms"`
-	P99ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
-	CacheHits  float64 `json:"cache_hits"`
+	Errors        int     `json:"errors"`
+	Mismatches    int     `json:"result_mismatches"`
+	Seconds       float64 `json:"seconds"`
+	JobsPerSec    float64 `json:"jobs_per_s"`
+	P50ms         float64 `json:"p50_ms"`
+	P90ms         float64 `json:"p90_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	P999ms        float64 `json:"p99_9_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	CacheHits     float64 `json:"cache_hits"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 // jobBody builds job i's submission. With spread > 0 configurations repeat
@@ -146,11 +156,11 @@ func jobBody(i, spread int, system string, inlineSpec []byte, sizeBase int64) []
 // result digests (zero digest on error).
 func runBurst(client *http.Client, base string, jobs, concurrency int, system string, inlineSpec []byte, spread int, sizeBase int64) (Burst, [][32]byte) {
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		latencies = make([]time.Duration, 0, jobs)
-		errs      int
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs int
 	)
+	lat := obs.NewHistogram(obs.DefaultLatencyBounds)
 	sums := make([][32]byte, jobs)
 	sem := make(chan struct{}, max(concurrency, 1))
 	useSem := concurrency > 0
@@ -165,7 +175,7 @@ func runBurst(client *http.Client, base string, jobs, concurrency int, system st
 			}
 			t0 := time.Now()
 			raw, err := submitAndWait(client, base, jobBody(i, spread, system, inlineSpec, sizeBase))
-			lat := time.Since(t0)
+			elapsed := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -173,7 +183,7 @@ func runBurst(client *http.Client, base string, jobs, concurrency int, system st
 				return
 			}
 			sums[i] = sha256.Sum256(raw)
-			latencies = append(latencies, lat)
+			lat.Observe(elapsed.Seconds())
 		}()
 	}
 	wg.Wait()
@@ -186,13 +196,11 @@ func runBurst(client *http.Client, base string, jobs, concurrency int, system st
 	if elapsed > 0 {
 		bs.JobsPerSec = float64(jobs-errs) / elapsed.Seconds()
 	}
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-	bs.P50ms = quantileMs(latencies, 0.50)
-	bs.P90ms = quantileMs(latencies, 0.90)
-	bs.P99ms = quantileMs(latencies, 0.99)
-	if n := len(latencies); n > 0 {
-		bs.MaxMs = float64(latencies[n-1]) / 1e6
-	}
+	bs.P50ms = lat.Quantile(0.50) * 1e3
+	bs.P90ms = lat.Quantile(0.90) * 1e3
+	bs.P99ms = lat.Quantile(0.99) * 1e3
+	bs.P999ms = lat.Quantile(0.999) * 1e3
+	bs.MaxMs = lat.Max() * 1e3
 	return bs, sums
 }
 
@@ -217,17 +225,9 @@ func submitAndWait(client *http.Client, base string, body []byte) (json.RawMessa
 	return status.Result, nil
 }
 
-// quantileMs reads the q-quantile from sorted latencies, in milliseconds.
-func quantileMs(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return float64(sorted[idx]) / 1e6
-}
-
-// cacheHits scrapes the serve.cache.hits counter from /metricz.
-func cacheHits(client *http.Client, base string) float64 {
+// scrapeMetric reads one unlabeled sample from the daemon's Prometheus
+// /metricz exposition (0 if absent or unreachable).
+func scrapeMetric(client *http.Client, base, name string) float64 {
 	resp, err := client.Get(base + "/metricz")
 	if err != nil {
 		return 0
@@ -235,9 +235,13 @@ func cacheHits(client *http.Client, base string) float64 {
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 3 && fields[0] == "counter" && fields[1] == "serve.cache.hits" {
-			v, _ := strconv.ParseFloat(fields[2], 64)
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, _ := strconv.ParseFloat(fields[1], 64)
 			return v
 		}
 	}

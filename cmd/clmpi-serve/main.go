@@ -38,6 +38,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives eviction and restarts)")
 	parallelWorld := flag.Int("parallel-world", 0, "default partitioned-engine width for matchscale jobs that do not set parallel_world (0 = serial engine); a partitioned point claims that many worker slots")
 	systemsFlag := flag.String("systems", "", "comma-separated system spec files to register as daemon-local names (jobs may then name them in \"system\"; results are still content-addressed by the spec, not the name)")
+	obsReport := flag.Bool("obs-report", false, "print the host-time attribution report (stall/simulate/advert/merge per shard, pooled over all partitioned jobs) to stderr at shutdown")
 	flag.Parse()
 
 	var registered map[string]cluster.System
@@ -68,6 +69,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT dumps the flight recorder without stopping the daemon — the
+	// same snapshot GET /debug/flightz serves, for when the HTTP surface is
+	// wedged or unreachable.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			mgr.FlightDump(os.Stderr)
+		}
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "clmpi-serve: listening on %s (workers=%d)\n", *addr, mgr.Workers())
@@ -94,5 +105,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "clmpi-serve: shutdown: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *obsReport {
+		fmt.Fprintln(os.Stderr, "clmpi-serve: host-time attribution at shutdown:")
+		mgr.ObsReport(os.Stderr)
 	}
 }

@@ -198,6 +198,58 @@ func BytesRegressionsBeyond(deltas []BenchDelta, factor float64) []BenchDelta {
 	return out
 }
 
+// PairDelta is one same-run cell pairing from PairDeltas: a measured cell
+// whose name carries the given prefix, against the cell named by the rest.
+type PairDelta struct {
+	Name    string // the prefixed cell
+	Against string // its unprefixed twin
+	A, B    BenchCell
+}
+
+// PairDeltas pairs every measured cell named prefix+X with the cell named X
+// from the same run, in name order. Comparing two cells of one `go test
+// -bench` invocation cancels the host's speed out of the comparison, so a
+// far tighter bound than any baseline-file gate is meaningful — this is how
+// the observability overhead guard asks "recorder on vs off" on whatever
+// machine CI happens to land on. Prefixed cells with no unprefixed twin are
+// returned in missing.
+func PairDeltas(cells map[string]BenchCell, prefix string) (pairs []PairDelta, missing []string) {
+	for name, a := range cells {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		b, ok := cells[rest]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		pairs = append(pairs, PairDelta{Name: name, Against: rest, A: a, B: b})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	sort.Strings(missing)
+	return pairs, missing
+}
+
+// PairViolations gates the pairings: a pair violates when A's ns/op exceeds
+// factor times B's (factor <= 0 disables), or when A makes more than
+// allocDelta additional allocs/op over B (allocDelta < 0 disables; 0 demands
+// alloc parity). Violations come back as printable one-line verdicts.
+func PairViolations(pairs []PairDelta, factor float64, allocDelta int64) []string {
+	var out []string
+	for _, p := range pairs {
+		if factor > 0 && p.B.NsPerOp > 0 && p.A.NsPerOp > factor*p.B.NsPerOp {
+			out = append(out, fmt.Sprintf("PAIR GATE: %s is %.3fx %s (%.0f vs %.0f ns/op), over the %.2fx limit",
+				p.Name, p.A.NsPerOp/p.B.NsPerOp, p.Against, p.A.NsPerOp, p.B.NsPerOp, factor))
+		}
+		if allocDelta >= 0 && p.A.AllocsPerOp > p.B.AllocsPerOp+allocDelta {
+			out = append(out, fmt.Sprintf("PAIR GATE: %s makes %d more allocs/op than %s (%d vs %d), over the +%d limit",
+				p.Name, p.A.AllocsPerOp-p.B.AllocsPerOp, p.Against, p.A.AllocsPerOp, p.B.AllocsPerOp, allocDelta))
+		}
+	}
+	return out
+}
+
 // FormatBenchDiff renders the comparison as an aligned regression note.
 // Cells whose |delta| exceeds flagPct get a trailing marker; flagPct <= 0
 // disables the markers. The returned count is the number of flagged

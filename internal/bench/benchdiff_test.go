@@ -115,6 +115,41 @@ func TestAllocRegressionsBeyond(t *testing.T) {
 	}
 }
 
+func TestPairDeltasAndViolations(t *testing.T) {
+	cells := map[string]BenchCell{
+		"engine=part/parts=8/workers=1":        {NsPerOp: 1000, AllocsPerOp: 500},
+		"obs=on/engine=part/parts=8/workers=1": {NsPerOp: 1020, AllocsPerOp: 510},
+		"engine=part/parts=8/workers=4":        {NsPerOp: 2000, AllocsPerOp: 700},
+		"obs=on/engine=part/parts=8/workers=4": {NsPerOp: 2100, AllocsPerOp: 700},
+		"obs=on/orphan":                        {NsPerOp: 5},
+		"engine=serial":                        {NsPerOp: 9999},
+	}
+	pairs, missing := PairDeltas(cells, "obs=on/")
+	if len(pairs) != 2 {
+		t.Fatalf("PairDeltas found %d pairs, want 2: %+v", len(pairs), pairs)
+	}
+	// Sorted by prefixed name; each pair carries both cells.
+	if pairs[0].Against != "engine=part/parts=8/workers=1" || pairs[0].A.NsPerOp != 1020 || pairs[0].B.NsPerOp != 1000 {
+		t.Fatalf("pair 0 = %+v", pairs[0])
+	}
+	if len(missing) != 1 || missing[0] != "obs=on/orphan" {
+		t.Fatalf("missing = %v, want the orphan only", missing)
+	}
+
+	// workers=1 pair: 1.02x ns, +10 allocs. workers=4 pair: 1.05x ns, +0.
+	if v := PairViolations(pairs, 1.03, 16); len(v) != 1 ||
+		!strings.Contains(v[0], "workers=4") || !strings.Contains(v[0], "1.050x") {
+		t.Fatalf("1.03x/+16 gate = %v, want the workers=4 ns violation only", v)
+	}
+	if v := PairViolations(pairs, 1.10, 0); len(v) != 1 ||
+		!strings.Contains(v[0], "workers=1") || !strings.Contains(v[0], "10 more allocs/op") {
+		t.Fatalf("1.10x/+0 gate = %v, want the workers=1 alloc violation only", v)
+	}
+	if v := PairViolations(pairs, 0, -1); v != nil {
+		t.Fatalf("disabled gates must pass everything, got %v", v)
+	}
+}
+
 func TestBytesRegressionsBeyond(t *testing.T) {
 	deltas := []BenchDelta{
 		{Name: "steady", BaseBytes: 4096, CurrentBytes: 4200}, // 1.03x: under a 1.1 gate

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -141,7 +142,7 @@ func matchRankBody(outstanding, wildPct, rounds int) func(p *sim.Proc, ep *mpi.E
 // are a deterministic function of (sys, ranks, outstanding, wildPct, rounds,
 // parts) alone; workers only changes HostMS and the scheduling counters
 // (Windows/Stalls/Adverts).
-func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int) (MatchPoint, error) {
+func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int, sm *obs.Sim) (MatchPoint, error) {
 	if outstanding > ranks-1 {
 		outstanding = ranks - 1
 	}
@@ -154,6 +155,9 @@ func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, 
 	start := time.Now()
 	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, ranks, parts))
 	pw := mpi.NewPartWorld(pe, sys, ranks)
+	if sm != nil {
+		pw.AttachObs(obs.NewPDES(sm, pe.Parts()))
+	}
 	pw.LaunchRanks("matchscale", matchRankBody(outstanding, wildPct, rounds))
 	if err := pw.Run(workers); err != nil {
 		return MatchPoint{}, fmt.Errorf("matchscale ranks=%d parts=%d: %w", ranks, parts, err)
@@ -184,8 +188,16 @@ func matchWorkloadPart(sys cluster.System, ranks, outstanding, wildPct, rounds, 
 // workers. This is the unit the serve daemon shards; callers running a
 // whole rank grid want MatchScale or MatchScalePartitioned.
 func MatchScalePoint(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int) (MatchPoint, error) {
+	return MatchScalePointObs(sys, ranks, outstanding, wildPct, rounds, parts, workers, nil)
+}
+
+// MatchScalePointObs is MatchScalePoint with a host-time observability
+// aggregator: a partitioned point attaches a fresh obs.PDES to its engine,
+// so stall attribution and flight-recorder events land in sm's registry and
+// recorder. sm may be nil (identical to MatchScalePoint).
+func MatchScalePointObs(sys cluster.System, ranks, outstanding, wildPct, rounds, parts, workers int, sm *obs.Sim) (MatchPoint, error) {
 	if parts > 1 {
-		return matchWorkloadPart(sys, ranks, outstanding, wildPct, rounds, parts, workers)
+		return matchWorkloadPart(sys, ranks, outstanding, wildPct, rounds, parts, workers, sm)
 	}
 	return matchWorkload(sys, ranks, outstanding, wildPct, rounds)
 }
@@ -203,6 +215,13 @@ func MatchScale(sys cluster.System, rankCounts []int, outstanding, wildPct, roun
 // of host-parallel runs still respects the configured pool width. parts <= 1
 // is MatchScale — the serial engine, one slot per point.
 func MatchScalePartitioned(sys cluster.System, rankCounts []int, outstanding, wildPct, rounds, parts, workers int) ([]MatchPoint, error) {
+	return MatchScalePartitionedObs(sys, rankCounts, outstanding, wildPct, rounds, parts, workers, nil)
+}
+
+// MatchScalePartitionedObs is MatchScalePartitioned with a host-time
+// observability aggregator threaded into every partitioned point (nil = no
+// observability; serial points never attach one).
+func MatchScalePartitionedObs(sys cluster.System, rankCounts []int, outstanding, wildPct, rounds, parts, workers int, sm *obs.Sim) ([]MatchPoint, error) {
 	if parts <= 1 {
 		return MatchScale(sys, rankCounts, outstanding, wildPct, rounds)
 	}
@@ -210,7 +229,7 @@ func MatchScalePartitioned(sys cluster.System, rankCounts []int, outstanding, wi
 		workers = parts
 	}
 	return sweep.MapWeighted(workers, len(rankCounts), func(i int) (MatchPoint, error) {
-		return matchWorkloadPart(sys, rankCounts[i], outstanding, wildPct, rounds, parts, workers)
+		return matchWorkloadPart(sys, rankCounts[i], outstanding, wildPct, rounds, parts, workers, sm)
 	})
 }
 

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// runPartObs is runPart with a full observability stack attached: metrics
+// registry, flight recorder, and per-shard labels. It returns the obs
+// aggregator alongside the streams so tests can inspect what was captured.
+func runPartObs(t *testing.T, sys cluster.System, n, parts, workers int, body func(*sim.Proc, *Endpoint)) ([][]MsgEvent, sim.Time, *obs.Sim) {
+	t.Helper()
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, n, parts))
+	pw := NewPartWorld(pe, sys, n)
+	sm := obs.NewSim(obs.NewRegistry(), obs.NewRecorder(parts, 256))
+	pw.AttachObs(obs.NewPDES(sm, parts))
+	recs := make([]*evRec, parts)
+	pw.SetMsgObserver(func(shard int) MsgObserver {
+		recs[shard] = &evRec{}
+		return recs[shard]
+	})
+	pw.LaunchRanks("rank", body)
+	if err := pw.Run(workers); err != nil {
+		t.Fatalf("partitioned run (parts=%d workers=%d, obs on): %v", parts, workers, err)
+	}
+	streams := make([][]MsgEvent, parts)
+	for i, r := range recs {
+		streams[i] = r.evs
+	}
+	return streams, pe.Now(), sm
+}
+
+// TestPartitionObsIdentity: the observability layer reads host clocks only,
+// so attaching it must not move a single virtual-time byte — K=1 with the
+// recorder on still matches the serial engine exactly, and a multi-worker
+// run with the recorder on still matches the single-worker run.
+func TestPartitionObsIdentity(t *testing.T) {
+	const n, parts = 8, 4
+	for name, sys := range testSystems(n) {
+		t.Run(name, func(t *testing.T) {
+			sev, send := runSerial(t, sys, n, richBody)
+			oev, oend, _ := runPartObs(t, sys, n, 1, 1, richBody)
+			if send != oend {
+				t.Fatalf("end time: serial %v, 1-partition obs-on %v", send, oend)
+			}
+			if !reflect.DeepEqual(sev, oev[0]) {
+				t.Fatalf("obs-on 1-partition stream diverges from serial")
+			}
+
+			w1, e1, _ := runPartObs(t, sys, n, parts, 1, richBody)
+			wk, ek, sm := runPartObs(t, sys, n, parts, parts, richBody)
+			if e1 != ek {
+				t.Fatalf("end time: workers=1 %v, workers=%d %v (obs on)", e1, parts, ek)
+			}
+			for i := range w1 {
+				if !reflect.DeepEqual(w1[i], wk[i]) {
+					t.Fatalf("shard %d streams diverge between workers=1 and workers=%d with obs on", i, parts)
+				}
+			}
+			// And the instrumentation actually observed the run.
+			if sm.Recorder().Recorded() == 0 {
+				t.Fatal("recorder saw no events during an instrumented run")
+			}
+		})
+	}
+}
+
+// TestPartitionObsCaptures: a partitioned run populates the window counters,
+// the per-shard labels, and a parseable Prometheus report.
+func TestPartitionObsCaptures(t *testing.T) {
+	const n, parts = 8, 4
+	sys := cluster.RICC()
+	if sys.MaxNodes < n {
+		sys.MaxNodes = n
+	}
+	_, _, sm := runPartObs(t, sys, n, parts, parts, richBody)
+	var report strings.Builder
+	if err := sm.Report(&report); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	if !strings.Contains(out, "ranks [0,2)") {
+		t.Fatalf("report missing shard labels:\n%s", out)
+	}
+	if !strings.Contains(out, "windows=") || strings.Contains(out, "windows=0 ") {
+		t.Fatalf("report did not count windows:\n%s", out)
+	}
+	found := false
+	for _, note := range sm.Recorder().Notes() {
+		if strings.Contains(note, "shard0 = ranks [0,2)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shard label missing from the recorder note board: %v", sm.Recorder().Notes())
+	}
+}
+
+// TestPartitionDeadlockFlightDump: a cross-partition deadlock must write the
+// flight-recorder post-mortem to DeadlockDump at declaration time, naming the
+// stalled channel, and the merged report must note each shard's pending cross
+// rendezvous.
+func TestPartitionDeadlockFlightDump(t *testing.T) {
+	sys := cluster.Cichlid()
+	pe := sim.NewPartitionedEngineMatrix(cluster.LookaheadMatrix(sys, 4, 2))
+	pw := NewPartWorld(pe, sys, 4)
+	sm := obs.NewSim(obs.NewRegistry(), obs.NewRecorder(2, 256))
+	var dump strings.Builder
+	sm.DeadlockDump = &dump
+	pw.AttachObs(obs.NewPDES(sm, 2))
+	pw.LaunchRanks("rank", func(p *sim.Proc, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			_ = ep.Ssend(p, make([]byte, 64), 3, 9, ep.World().Comm())
+		}
+	})
+	err := pw.Run(2)
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	out := dump.String()
+	for _, want := range []string{
+		"conservative deadlock at vt=",
+		"flight recorder dump:",
+		"ssend 0->3 tag 9", // the blocking channel, named in the note board
+		"shard0 = ranks [0,2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("deadlock dump missing %q:\n%s", want, out)
+		}
+	}
+	if got := sm.Recorder().Notes(); len(got) == 0 {
+		t.Fatal("note board empty after deadlock")
+	}
+	// The merged-error path adds per-shard rendezvous accounting after Run.
+	rendNote := false
+	for _, note := range sm.Recorder().Notes() {
+		if strings.Contains(note, "cross rendezvous awaiting clear-to-send") {
+			rendNote = true
+		}
+	}
+	if !rendNote {
+		t.Fatalf("missing cross-rendezvous note: %v", sm.Recorder().Notes())
+	}
+}

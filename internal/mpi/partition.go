@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bytepool"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -108,9 +110,43 @@ func (pw *PartWorld) LaunchRanks(name string, body func(p *sim.Proc, ep *Endpoin
 	}
 }
 
+// AttachObs wires a host-time observability hook set into the underlying
+// engine and labels every shard with its rank range, so flight-recorder
+// dumps and -obs-report tables speak in ranks rather than shard indexes.
+// Must be called before Run.
+func (pw *PartWorld) AttachObs(p *obs.PDES) {
+	pw.pe.SetObs(p)
+	if p == nil {
+		return
+	}
+	for i, w := range pw.shards {
+		p.SetShardLabel(i, fmt.Sprintf("ranks [%d,%d)", w.part.lo, w.part.hi))
+	}
+}
+
 // Run drives the partitioned simulation to completion on up to workers host
-// cores (see sim.PartitionedEngine.Run).
-func (pw *PartWorld) Run(workers int) error { return pw.pe.Run(workers) }
+// cores (see sim.PartitionedEngine.Run). On a conservative deadlock, the
+// MPI layer annotates the flight recorder with its own view of the wreck —
+// which shards still hold cross-partition rendezvous in flight — before the
+// error propagates.
+func (pw *PartWorld) Run(workers int) error {
+	err := pw.pe.Run(workers)
+	var derr *sim.DeadlockError
+	if errors.As(err, &derr) {
+		if o := pw.pe.Obs(); o != nil {
+			// The engine is fully stopped: the shard maps are quiescent.
+			rec := o.Recorder()
+			for i, w := range pw.shards {
+				ps := w.part
+				if len(ps.pend) > 0 || len(ps.await) > 0 {
+					rec.Note("shard%d (ranks [%d,%d)): %d cross rendezvous awaiting clear-to-send, %d awaiting data phase",
+						i, ps.lo, ps.hi, len(ps.pend), len(ps.await))
+				}
+			}
+		}
+	}
+	return err
+}
 
 // MatchQueueHighWater reports rank's peak matcher-queue depths, delegating
 // to the owning shard's world communicator.

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample per child,
+// histogram children expanded into cumulative _bucket/_sum/_count series.
+// Output is deterministic — families sort by name, children by label
+// values — so tests and diffs are stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusText renders WritePrometheus into a string.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	kids := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		kids = append(kids, ch)
+	}
+	f.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool {
+		a, b := kids[i].values, kids[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return kids
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return err
+	}
+	for _, ch := range f.sortedChildren() {
+		labels := formatLabels(f.labels, ch.values)
+		switch f.typ {
+		case typeCounter, typeGauge:
+			var v float64
+			if f.typ == typeCounter {
+				v = float64(ch.c.Load()) * f.scale
+			} else {
+				v = math.Float64frombits(ch.g.Load())
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(v)); err != nil {
+				return err
+			}
+		case typeHistogram:
+			if err := ch.h.writePrometheus(w, f.name, f.labels, ch.values); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writePrometheus(w io.Writer, name string, labelNames, labelValues []string) error {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		le := formatFloat(bound)
+		labels := formatLabels(append(labelNames, "le"), append(labelValues, le))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	infLabels := formatLabels(append(labelNames, "le"), append(labelValues, "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, infLabels, cum); err != nil {
+		return err
+	}
+	base := formatLabels(labelNames, labelValues)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, cum)
+	return err
+}
+
+// formatLabels renders {a="x",b="y"}, or "" for the unlabeled child.
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// formatFloat renders a sample value the Prometheus way: shortest
+// round-trippable decimal, integers without an exponent.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as a stable JSON object — the legacy view
+// kept under /metricz?format=json. Counters and gauges become
+// "name{labels}": value entries; histograms expose count/sum/min/max and
+// the standard quantile ladder.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := r.sortedFamilies()
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(key string, val string) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err := fmt.Fprintf(w, "%s  %q: %s", sep, key, val)
+		return err
+	}
+	for _, f := range fams {
+		if f.fn != nil {
+			if err := emit(f.name, formatFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, ch := range f.sortedChildren() {
+			key := f.name + formatLabels(f.labels, ch.values)
+			switch f.typ {
+			case typeCounter:
+				if err := emit(key, formatFloat(float64(ch.c.Load())*f.scale)); err != nil {
+					return err
+				}
+			case typeGauge:
+				if err := emit(key, formatFloat(math.Float64frombits(ch.g.Load()))); err != nil {
+					return err
+				}
+			case typeHistogram:
+				h := ch.h
+				val := fmt.Sprintf("{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}",
+					h.Count(), formatFloat(h.Sum()), formatFloat(h.Min()), formatFloat(h.Max()),
+					formatFloat(h.Quantile(0.50)), formatFloat(h.Quantile(0.90)), formatFloat(h.Quantile(0.99)))
+				if err := emit(key, val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// JSONText renders WriteJSON into a string.
+func (r *Registry) JSONText() string {
+	var b strings.Builder
+	r.WriteJSON(&b)
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRecorderWraparound: a full ring keeps only the newest capacity events,
+// while Recorded still counts everything ever written.
+func TestRecorderWraparound(t *testing.T) {
+	const capacity, writes = 8, 20
+	r := NewRecorder(1, capacity)
+	for i := 0; i < writes; i++ {
+		r.RecordAt(0, int64(i), KindWindow, 0, -1, int64(i), 0)
+	}
+	if got := r.Recorded(); got != writes {
+		t.Fatalf("Recorded() = %d, want %d", got, writes)
+	}
+	evs := r.Snapshot()
+	if len(evs) != capacity {
+		t.Fatalf("snapshot holds %d events, want the %d resident ones", len(evs), capacity)
+	}
+	// Only the last `capacity` writes survive, in timestamp order.
+	for i, ev := range evs {
+		if want := int64(writes - capacity + i); ev.A != want || ev.T != want {
+			t.Fatalf("event %d: A=%d T=%d, want %d (oldest resident = write %d)",
+				i, ev.A, ev.T, want, writes-capacity)
+		}
+	}
+}
+
+// TestRecorderRoundsUpCapacity: non-power-of-two requests round up, and ring
+// indexes wrap modulo the ring count instead of panicking.
+func TestRecorderRoundsUpCapacity(t *testing.T) {
+	r := NewRecorder(2, 5) // rounds to 8
+	for i := 0; i < 8; i++ {
+		r.Record(5, KindAdvert, 1, -1, int64(i), 0) // ring 5 % 2 == 1
+	}
+	if got := len(r.Snapshot()); got != 8 {
+		t.Fatalf("snapshot holds %d events, want 8 (capacity rounded up from 5)", got)
+	}
+}
+
+// TestRecorderSnapshotWhileRecording hammers every ring from concurrent
+// writers while snapshots run — under -race this doubles as the proof that
+// the marker protocol is data-race free. Every event carries a checkable
+// payload invariant, so a torn read would surface as a corrupt event.
+func TestRecorderSnapshotWhileRecording(t *testing.T) {
+	const writers, perWriter = 4, 5000
+	r := NewRecorder(writers, 64) // tiny rings: constant wrap-around pressure
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				r.RecordAt(w, v, KindWindow, int16(w), -1, v, ^v)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	snapshots := 0
+	for {
+		for _, ev := range r.Snapshot() {
+			if ev.B != ^ev.A || ev.T != ev.A {
+				t.Fatalf("torn event escaped marker validation: %+v", ev)
+			}
+		}
+		snapshots++
+		select {
+		case <-done:
+			if got := r.Recorded(); got != writers*perWriter {
+				t.Fatalf("Recorded() = %d, want %d", got, writers*perWriter)
+			}
+			if snapshots < 2 {
+				t.Fatalf("only %d snapshot(s) ran; the test needs snapshot-while-recording overlap", snapshots)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestRecorderNoteBoardBounded: the note board keeps only the newest
+// maxNotes lines, so a daemon attaching engines forever cannot grow it.
+func TestRecorderNoteBoardBounded(t *testing.T) {
+	r := NewRecorder(1, 16)
+	for i := 0; i < maxNotes+50; i++ {
+		r.Note("note %d", i)
+	}
+	notes := r.Notes()
+	if len(notes) != maxNotes {
+		t.Fatalf("note board holds %d lines, want cap %d", len(notes), maxNotes)
+	}
+	if want := "note 50"; notes[0] != want {
+		t.Fatalf("oldest resident note = %q, want %q (board must drop oldest first)", notes[0], want)
+	}
+	if want := "note 305"; notes[len(notes)-1] != want {
+		t.Fatalf("newest note = %q, want %q", notes[len(notes)-1], want)
+	}
+}
+
+// TestRecorderNilSafe: a nil recorder is the documented "recording off"
+// state — every method must be a no-op, not a panic.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindWindow, 0, -1, 1, 2)
+	r.RecordAt(0, 0, KindWindow, 0, -1, 1, 2)
+	r.Note("ignored %d", 7)
+	if r.Snapshot() != nil || r.Notes() != nil || r.Recorded() != 0 {
+		t.Fatal("nil recorder must read as empty")
+	}
+	var b strings.Builder
+	if err := r.WriteDump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "flight recorder: disabled") {
+		t.Fatalf("nil dump = %q", b.String())
+	}
+}
+
+// TestRecorderDump: the dump carries the header, the note board, and
+// kind-aware event rendering.
+func TestRecorderDump(t *testing.T) {
+	r := NewRecorder(1, 16)
+	r.Note("shard0 = ranks [0,4)")
+	r.RecordAt(0, 10, KindStallBegin, 0, 1, 500, 900)
+	r.RecordAt(0, 20, KindStallEnd, 0, 1, 10, 0)
+	r.RecordAt(0, 30, KindDeadlock, -1, -1, 12345, 0)
+	var b strings.Builder
+	if err := r.WriteDump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"flight recorder dump: 3 event(s) resident, 3 recorded",
+		"shard0 = ranks [0,4)",
+		"stall.begin   on=ch0<-1 floor=500ns horizon=900ns",
+		"stall.end     on=ch0<-1 stalled=10ns",
+		"deadlock      vt=12345ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

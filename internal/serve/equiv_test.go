@@ -46,13 +46,13 @@ func TestServedMatchesInProcess(t *testing.T) {
 			}
 
 			// Second identical submission: cache hit, identical bytes.
-			hitsBefore := m.Counter("serve.cache.hits")
+			hitsBefore := m.Counter("clmpi_serve_cache_hits_total")
 			st2 := postJob(t, ts, string(body))
 			if !st2.Cached {
 				t.Fatal("second submission not served from cache")
 			}
-			if got := m.Counter("serve.cache.hits"); got != hitsBefore+1 {
-				t.Fatalf("serve.cache.hits = %v, want %v", got, hitsBefore+1)
+			if got := m.Counter("clmpi_serve_cache_hits_total"); got != hitsBefore+1 {
+				t.Fatalf("clmpi_serve_cache_hits_total = %v, want %v", got, hitsBefore+1)
 			}
 			resp, err = http.Get(ts.URL + "/v1/results/" + st2.Hash)
 			if err != nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/clmpi"
 	"repro/internal/cluster"
 	"repro/internal/himeno"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -304,6 +305,15 @@ func (s JobSpec) ResolveSystem() (cluster.System, error) {
 // first axis outer (strategies or impls), second axis inner (sizes or
 // nodes) — the row order a serial nested loop would produce.
 func RunPoint(spec JobSpec, i int) (PointResult, error) {
+	return RunPointObs(spec, i, nil)
+}
+
+// RunPointObs is RunPoint with a host-time observability aggregator: a
+// partitioned matchscale point attaches a flight recorder and stall
+// attribution to its engine. sm observes host clocks only, so the
+// PointResult — and therefore the cached result bytes — are identical with
+// sm nil or not.
+func RunPointObs(spec JobSpec, i int, sm *obs.Sim) (PointResult, error) {
 	sys, err := spec.ResolveSystem()
 	if err != nil {
 		return PointResult{}, err
@@ -311,7 +321,7 @@ func RunPoint(spec JobSpec, i int) (PointResult, error) {
 	if spec.Workload == "matchscale" {
 		ranks := spec.Ranks[i]
 		pw := spec.ParallelWorld
-		pt, err := bench.MatchScalePoint(sys, ranks, 8, 25, 1, pw, pw)
+		pt, err := bench.MatchScalePointObs(sys, ranks, 8, 25, 1, pw, pw, sm)
 		if err != nil {
 			return PointResult{}, fmt.Errorf("serve: matchscale ranks=%d: %w", ranks, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -148,7 +149,7 @@ func (s *slotSem) release(n int) {
 type Manager struct {
 	opts  Options
 	cache *Cache
-	met   *metrics
+	met   *serveMetrics
 	sem   *slotSem
 	start time.Time
 
@@ -160,15 +161,9 @@ type Manager struct {
 	order []string
 	seq   int
 
-	// runPoint is the point runner — RunPoint in production, overridden
+	// runPoint is the point runner — RunPointObs in production, overridden
 	// by tests that need controllable point timing.
-	runPoint func(JobSpec, int) (PointResult, error)
-
-	// live pool accounting behind the queue/inflight gauges.
-	gaugeMu sync.Mutex
-	queued  int // points waiting for a pool slot
-	running int // points simulating right now
-	active  int // jobs in StatusRunning
+	runPoint func(JobSpec, int, *obs.Sim) (PointResult, error)
 }
 
 // NewManager creates a manager and its cache.
@@ -186,12 +181,12 @@ func NewManager(opts Options) (*Manager, error) {
 	return &Manager{
 		opts:     opts,
 		cache:    cache,
-		met:      newMetrics(),
+		met:      newServeMetrics(opts.Workers, cache.Len),
 		sem:      newSlotSem(opts.Workers),
 		start:    time.Now(),
 		bus:      trace.NewBus(),
 		jobs:     make(map[string]*Job),
-		runPoint: RunPoint,
+		runPoint: RunPointObs,
 	}, nil
 }
 
@@ -222,7 +217,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	hash := Hash(norm)
-	m.met.add("serve.jobs.submitted", 1)
+	m.met.submitted.Add(1)
 
 	m.mu.Lock()
 	m.seq++
@@ -238,23 +233,27 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	if data, ok := m.cache.Get(hash); ok {
-		m.met.add("serve.cache.hits", 1)
-		m.updateCacheGauges()
+		m.met.cacheHits.Add(1)
+		m.met.rec.Record(0, obs.KindCacheHit, -1, -1, 0, 0)
+		m.met.rec.Record(0, obs.KindJobAdmit, -1, -1, int64(job.NPoints), 1)
 		job.Cached = true
 		job.status = StatusDone
 		job.result = data
 		job.completed = job.NPoints
 		job.finished = time.Now()
 		close(job.done)
-		m.met.add("serve.jobs.completed", 1)
+		m.met.jobsCompleted.Add(1)
+		m.met.jobWall.Observe(job.finished.Sub(job.started).Seconds())
+		m.met.rec.Record(0, obs.KindJobDone, -1, -1, obs.JobDone, int64(job.finished.Sub(job.started)))
 		m.span(job)
 	} else {
-		m.met.add("serve.cache.misses", 1)
-		m.updateCacheGauges()
+		m.met.cacheMisses.Add(1)
+		m.met.rec.Record(0, obs.KindCacheMiss, -1, -1, 0, 0)
+		m.met.rec.Record(0, obs.KindJobAdmit, -1, -1, int64(job.NPoints), 0)
 		ctx, cancel := context.WithCancel(context.Background())
 		job.cancel = cancel
 		job.status = StatusRunning
-		m.adjustGauges(0, 0, +1)
+		m.met.jobsInflight.Add(1)
 		go m.run(ctx, job)
 	}
 
@@ -287,19 +286,28 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 		if ctx.Err() != nil {
 			return PointResult{}, ErrCanceled
 		}
-		m.adjustGauges(+1, 0, 0)
+		m.met.queueDepth.Add(1)
+		waitStart := time.Now()
 		if m.sem.acquire(ctx, weight) != nil {
-			m.adjustGauges(-1, 0, 0)
+			m.met.queueDepth.Add(-1)
 			return PointResult{}, ErrCanceled
 		}
-		m.adjustGauges(-1, +1, 0)
-		pr, err := m.runPoint(job.Spec, i)
+		waited := time.Since(waitStart)
+		m.met.queueDepth.Add(-1)
+		m.met.pointsInflight.Add(1)
+		m.met.slotWait.Observe(waited.Seconds())
+		m.met.rec.Record(i, obs.KindSlotWait, -1, -1, int64(waited), int64(weight))
+		ptStart := time.Now()
+		pr, err := m.runPoint(job.Spec, i, m.met.sim)
+		ptWall := time.Since(ptStart)
 		m.sem.release(weight)
-		m.adjustGauges(0, -1, 0)
+		m.met.pointsInflight.Add(-1)
 		if err != nil {
 			return PointResult{}, err
 		}
-		m.met.add("serve.points.completed", 1)
+		m.met.pointsDone.Add(1)
+		m.met.pointWall.Observe(ptWall.Seconds())
+		m.met.rec.Record(i, obs.KindPoint, -1, -1, int64(ptWall), 0)
 		job.recordPoint(PointEvent{Index: i, Point: pr})
 		return pr, nil
 	})
@@ -308,23 +316,22 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 		if data, err = MarshalResult(job.Spec, points); err == nil {
 			if cerr := m.cache.Put(job.Hash, data); cerr != nil {
 				// A failed persist degrades the cache, not the job.
-				m.met.add("serve.cache.write_errors", 1)
+				m.met.cacheWriteErrs.Add(1)
 			}
-			m.updateCacheGauges()
 			m.finish(job, StatusDone, data, nil)
-			m.met.add("serve.jobs.completed", 1)
+			m.met.jobsCompleted.Add(1)
 		}
 	}
 	if err != nil {
 		if errors.Is(err, ErrCanceled) {
 			m.finish(job, StatusCanceled, nil, err)
-			m.met.add("serve.jobs.canceled", 1)
+			m.met.jobsCanceled.Add(1)
 		} else {
 			m.finish(job, StatusFailed, nil, err)
-			m.met.add("serve.jobs.failed", 1)
+			m.met.jobsFailed.Add(1)
 		}
 	}
-	m.adjustGauges(0, 0, -1)
+	m.met.jobsInflight.Add(-1)
 	m.span(job)
 }
 
@@ -347,12 +354,25 @@ func (m *Manager) finish(job *Job, st Status, result []byte, err error) {
 	job.result = result
 	job.err = err
 	job.finished = time.Now()
-	m.met.observe("serve.job.wall_ms", float64(job.finished.Sub(job.started).Milliseconds()))
+	wall := job.finished.Sub(job.started)
+	m.met.jobWall.Observe(wall.Seconds())
+	m.met.rec.Record(0, obs.KindJobDone, -1, -1, statusCode(st), int64(wall))
 	for _, ch := range job.subs {
 		close(ch)
 	}
 	job.subs = nil
 	close(job.done)
+}
+
+// statusCode maps a terminal Status onto the flight recorder's job codes.
+func statusCode(st Status) int64 {
+	switch st {
+	case StatusFailed:
+		return obs.JobFailed
+	case StatusCanceled:
+		return obs.JobCanceled
+	}
+	return obs.JobDone
 }
 
 // span records the job on the trace bus: one span on the "serve" layer whose
@@ -373,30 +393,6 @@ func (m *Manager) span(job *Job) {
 
 // simSince maps a wall instant onto the bus's virtual timeline.
 func simSince(start, t time.Time) sim.Time { return sim.Time(t.Sub(start)) }
-
-// adjustGauges applies deltas to the pool accounting and republishes the
-// queue/inflight gauges.
-func (m *Manager) adjustGauges(dQueued, dRunning, dActive int) {
-	m.gaugeMu.Lock()
-	m.queued += dQueued
-	m.running += dRunning
-	m.active += dActive
-	q, r, a := m.queued, m.running, m.active
-	m.gaugeMu.Unlock()
-	m.met.set("serve.queue.depth", float64(q))
-	m.met.set("serve.points.inflight", float64(r))
-	m.met.set("serve.jobs.inflight", float64(a))
-}
-
-// updateCacheGauges republishes the cache size and hit-ratio gauges.
-func (m *Manager) updateCacheGauges() {
-	hits := m.met.counter("serve.cache.hits")
-	misses := m.met.counter("serve.cache.misses")
-	if total := hits + misses; total > 0 {
-		m.met.set("serve.cache.hit_ratio", hits/total)
-	}
-	m.met.set("serve.cache.entries", float64(m.cache.Len()))
-}
 
 // Job looks a job up by ID.
 func (m *Manager) Job(id string) (*Job, bool) {
@@ -441,12 +437,31 @@ func (m *Manager) Wait(job *Job) { <-job.done }
 // Result returns a cached result document by hash.
 func (m *Manager) Result(hash string) ([]byte, bool) { return m.cache.Peek(hash) }
 
-// MetricsText renders the metrics registry (the /metricz body).
-func (m *Manager) MetricsText() string { return m.met.format() }
+// MetricsText renders the metrics registry in Prometheus text exposition
+// (the default /metricz body).
+func (m *Manager) MetricsText() string { return m.met.reg.PrometheusText() }
+
+// MetricsJSON renders the metrics registry as JSON (the legacy
+// /metricz?format=json view).
+func (m *Manager) MetricsJSON() string { return m.met.reg.JSONText() }
 
 // Counter exposes a metrics counter for tests and the load generator's
-// cache-hit assertions (via /metricz in the HTTP path).
-func (m *Manager) Counter(name string) float64 { return m.met.counter(name) }
+// cache-hit assertions (via /metricz in the HTTP path). Names are the
+// Prometheus family names, e.g. "clmpi_serve_cache_hits_total".
+func (m *Manager) Counter(name string) float64 { return m.met.reg.CounterValue(name) }
+
+// Recorder exposes the daemon's flight recorder (for /debug/flightz and the
+// SIGQUIT handler).
+func (m *Manager) Recorder() *obs.Recorder { return m.met.rec }
+
+// FlightDump writes the flight recorder's dump — notes and every resident
+// event.
+func (m *Manager) FlightDump(w io.Writer) error { return m.met.rec.WriteDump(w) }
+
+// ObsReport writes the aggregated per-shard host-time attribution across
+// every partitioned engine this daemon has run (the clmpi-serve -obs-report
+// shutdown output).
+func (m *Manager) ObsReport(w io.Writer) error { return m.met.sim.Report(w) }
 
 // WriteTrace exports the per-job span bus as Chrome trace_event JSON.
 func (m *Manager) WriteTrace(w io.Writer) error {

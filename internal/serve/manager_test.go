@@ -2,6 +2,8 @@ package serve
 
 import (
 	"errors"
+
+	"repro/internal/obs"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,7 +19,7 @@ func stubManager(t *testing.T, workers int) (m *Manager, started chan int, relea
 	}
 	started = make(chan int, 64)
 	release = make(chan struct{})
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		started <- i
 		<-release
 		return PointResult{Strategy: "stub", Bytes: int64(i + 1), MBps: 1}, nil
@@ -65,7 +67,7 @@ func TestCancelMidShard(t *testing.T) {
 	if st.Result != nil {
 		t.Fatal("canceled job has a result")
 	}
-	if got := m.Counter("serve.jobs.canceled"); got != 1 {
+	if got := m.Counter("clmpi_serve_jobs_canceled_total"); got != 1 {
 		t.Fatalf("serve.jobs.canceled = %v, want 1", got)
 	}
 	// A canceled job must not poison the cache.
@@ -90,7 +92,7 @@ func TestCancelWhileQueuedForSlot(t *testing.T) {
 	}
 	// Wait for job2's worker to be queued on the semaphore.
 	deadline := time.Now().Add(5 * time.Second)
-	for m.met.gauge("serve.queue.depth") < 1 {
+	for m.met.queueDepth.Value() < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("job2 never queued for a slot")
 		}
@@ -109,9 +111,9 @@ func TestCancelWhileQueuedForSlot(t *testing.T) {
 	if got := job1.StatusNow(); got != StatusDone {
 		t.Fatalf("job1 status = %s, want %s (err %v)", got, StatusDone, job1.Err())
 	}
-	if m.met.gauge("serve.queue.depth") != 0 || m.met.gauge("serve.points.inflight") != 0 {
+	if m.met.queueDepth.Value() != 0 || m.met.pointsInflight.Value() != 0 {
 		t.Fatalf("pool gauges not drained: queue=%v inflight=%v",
-			m.met.gauge("serve.queue.depth"), m.met.gauge("serve.points.inflight"))
+			m.met.queueDepth.Value(), m.met.pointsInflight.Value())
 	}
 }
 
@@ -123,7 +125,7 @@ func TestFailedPointFailsJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		if i == 1 {
 			return PointResult{}, boom
 		}
@@ -217,7 +219,7 @@ func TestWeightedSlotAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	var occ, peak, calls atomic.Int64
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		cur := occ.Add(int64(spec.slotWeight()))
 		for {
 			p := peak.Load()
@@ -260,7 +262,7 @@ func TestWeightedJobsNoDeadlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		time.Sleep(time.Millisecond)
 		return PointResult{Ranks: spec.Ranks[i], SimMS: 1}, nil
 	}

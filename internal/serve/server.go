@@ -19,7 +19,9 @@ const maxBodyBytes = 1 << 20
 //	DELETE /v1/jobs/{id}       cancel a running job
 //	GET    /v1/jobs/{id}/events  per-point progress as SSE
 //	GET    /v1/results/{hash}  cached result document by content address
-//	GET    /metricz            metrics registry as sorted text
+//	GET    /metricz            host-time metrics, Prometheus text exposition
+//	                           (?format=json for the JSON view)
+//	GET    /debug/flightz      flight-recorder dump (notes + resident events)
 //	GET    /tracez             per-job spans as Chrome trace_event JSON
 //	GET    /healthz            liveness probe
 type Server struct {
@@ -37,6 +39,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.resultByHash)
 	s.mux.HandleFunc("GET /metricz", s.metricz)
+	s.mux.HandleFunc("GET /debug/flightz", s.flightz)
 	s.mux.HandleFunc("GET /tracez", s.tracez)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -162,10 +165,23 @@ func (s *Server) resultByHash(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// metricz handles GET /metricz.
+// metricz handles GET /metricz: Prometheus text exposition by default, the
+// legacy JSON view under ?format=json.
 func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, s.m.MetricsJSON())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.m.MetricsText())
+}
+
+// flightz handles GET /debug/flightz: a consistent snapshot of the flight
+// recorder, taken without stopping any worker.
+func (s *Server) flightz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.m.FlightDump(w)
 }
 
 // tracez handles GET /tracez.
@@ -187,7 +203,7 @@ clmpi-serve: deterministic cluster what-if service.
   GET  /v1/jobs/{id}       job status and result
   GET  /v1/jobs/{id}/events  per-point progress (SSE)
   GET  /v1/results/{hash}  cached result by content address
-  GET  /metricz  /tracez  /healthz
+  GET  /metricz  /debug/flightz  /tracez  /healthz
 `, "\n"))
 }
 

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // testServer mounts a fresh manager on an httptest server.
@@ -78,8 +80,8 @@ func TestServerEndToEnd(t *testing.T) {
 	if !st2.Cached || st2.Status != StatusDone || st2.Hash != st.Hash {
 		t.Fatalf("second submit not cached: %+v", st2)
 	}
-	if hits := m.Counter("serve.cache.hits"); hits != 1 {
-		t.Fatalf("serve.cache.hits = %v, want 1", hits)
+	if hits := m.Counter("clmpi_serve_cache_hits_total"); hits != 1 {
+		t.Fatalf("clmpi_serve_cache_hits_total = %v, want 1", hits)
 	}
 	resp, err = http.Get(ts.URL + "/metricz")
 	if err != nil {
@@ -87,7 +89,15 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	metricz, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	for _, want := range []string{"counter serve.cache.hits 1", "counter serve.jobs.completed 2", "gauge   serve.cache.hit_ratio 0.5"} {
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metricz content type = %q, want Prometheus 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"clmpi_serve_cache_hits_total 1",
+		"clmpi_serve_jobs_completed_total 2",
+		"clmpi_serve_cache_hit_ratio 0.5",
+		"# TYPE clmpi_serve_job_wall_seconds histogram",
+	} {
 		if !strings.Contains(string(metricz), want) {
 			t.Errorf("metricz missing %q:\n%s", want, metricz)
 		}
@@ -139,7 +149,7 @@ func TestServerSSELiveStream(t *testing.T) {
 	m, ts := testServer(t, Options{Workers: 1})
 	started := make(chan int, 8)
 	release := make(chan struct{}, 8)
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		started <- i
 		<-release
 		return PointResult{Strategy: "stub", Bytes: int64(i + 1), MBps: 1}, nil
@@ -178,7 +188,7 @@ func TestServerCancel(t *testing.T) {
 	m, ts := testServer(t, Options{Workers: 1})
 	started := make(chan int, 8)
 	release := make(chan struct{})
-	m.runPoint = func(spec JobSpec, i int) (PointResult, error) {
+	m.runPoint = func(spec JobSpec, i int, _ *obs.Sim) (PointResult, error) {
 		started <- i
 		<-release
 		return PointResult{Strategy: "stub", Bytes: int64(i + 1), MBps: 1}, nil

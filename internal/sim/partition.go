@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Partitioned parallel execution: one simulation split into K shards, each a
@@ -194,6 +197,13 @@ type PartitionedEngine struct {
 	windows atomic.Uint64 // per-shard horizon windows executed
 	stalls  atomic.Uint64 // shard transitions into the blocked state
 	adverts atomic.Uint64 // clock advertisements published
+
+	// obs, when non-nil, receives host-time attribution hooks (flight
+	// recorder events, stall/window/advert wall time). Everything it observes
+	// is host clocks — attaching it cannot perturb virtual time, so shard
+	// event streams stay byte-identical with observability on or off. Nil
+	// keeps the step loop free of clock reads entirely.
+	obs *obs.PDES
 }
 
 // NewPartitionedEngine creates parts windowed shard engines with a uniform
@@ -276,6 +286,19 @@ func NewPartitionedEngineMatrix(la [][]time.Duration) *PartitionedEngine {
 	}
 	return pe
 }
+
+// SetObs attaches a host-time observability hook set (created with
+// obs.NewPDES for this engine's partition count). Must be called before
+// Run; nil (the default) disables all host-time capture.
+func (pe *PartitionedEngine) SetObs(p *obs.PDES) {
+	if pe.started {
+		panic("sim: SetObs after Run")
+	}
+	pe.obs = p
+}
+
+// Obs returns the attached host-time hook set (nil when disabled).
+func (pe *PartitionedEngine) Obs() *obs.PDES { return pe.obs }
 
 // Parts reports the number of partitions.
 func (pe *PartitionedEngine) Parts() int { return pe.k }
@@ -396,10 +419,11 @@ func (pe *PartitionedEngine) drainChannel(from, to int) {
 
 // publishFloor raises shard i's clock advertisement to v and wakes every
 // stalled shard with a channel from i. Floors are monotone; a no-op when v
-// does not exceed the current advertisement.
-func (pe *PartitionedEngine) publishFloor(i int, v Time) {
+// does not exceed the current advertisement. Reports whether an
+// advertisement was actually published.
+func (pe *PartitionedEngine) publishFloor(i int, v Time) bool {
 	if v <= Time(pe.floors[i].Load()) {
-		return
+		return false
 	}
 	pe.floors[i].Store(int64(v))
 	pe.adverts.Add(1)
@@ -425,15 +449,30 @@ func (pe *PartitionedEngine) publishFloor(i int, v Time) {
 	if woke {
 		pe.cond.Broadcast()
 	}
+	return true
 }
 
 // step advances shard i once: load the incoming floors (computing the
 // horizon), drain the incoming channels, and — when the shard holds an
 // event below the horizon — run one window up to it. Reports whether a
 // window was executed.
+//
+// The obs hooks attribute the step's wall time: channel draining is merge
+// time, runWindow is simulate time, publishFloor is advert time, and a
+// return without a window opens a stall charged to the upstream shard whose
+// floor pinned the horizon (the argmin of the horizon computation). All
+// hooks sit behind one nil check each, so a disabled engine performs no
+// clock reads here at all.
 func (pe *PartitionedEngine) step(i int) bool {
 	k := pe.k
+	o := pe.obs
+	var t0 int64
+	if o != nil {
+		t0 = o.Now()
+		o.StepStart(i, t0)
+	}
 	horizon := timeInf
+	limiting, limFloor := -1, timeInf
 	for from := 0; from < k; from++ {
 		if from == i || pe.la[from*k+i] == timeInf {
 			continue
@@ -441,12 +480,18 @@ func (pe *PartitionedEngine) step(i int) bool {
 		f := Time(pe.floors[from].Load())
 		if h := satAdd(f, pe.la[from*k+i]); h < horizon {
 			horizon = h
+			limiting, limFloor = from, f
 		}
 	}
 	for from := 0; from < k; from++ {
 		if from != i {
 			pe.drainChannel(from, i)
 		}
+	}
+	var t1 int64
+	if o != nil {
+		t1 = o.Now()
+		o.MergeDone(i, t1-t0)
 	}
 	s := pe.shards[i]
 	next, ok := s.nextEventTime()
@@ -456,19 +501,49 @@ func (pe *PartitionedEngine) step(i int) bool {
 		// the ever-growing horizon here would let two idle shards advertise
 		// each other toward infinity; staying silent instead hands the
 		// no-events case to the quiescence fixpoint.
+		if o != nil && limiting >= 0 {
+			o.StallBegin(i, limiting, int64(limFloor), int64(horizon), t1)
+		}
 		return false
 	}
 	if next >= horizon {
 		// Stalled, but holding a real event: advertise the horizon — every
 		// instant this shard will ever execute is >= horizon — so
 		// dependents can advance past us (the null message).
-		pe.publishFloor(i, horizon)
+		published := pe.publishFloor(i, horizon)
+		if o != nil {
+			t2 := o.Now()
+			if published {
+				o.AdvertDone(i, int64(horizon), t2-t1, t2)
+			}
+			if limiting >= 0 {
+				o.StallBegin(i, limiting, int64(limFloor), int64(horizon), t2)
+			}
+		}
 		return false
 	}
-	pe.publishFloor(i, next)
+	published := pe.publishFloor(i, next)
+	var t2 int64
+	if o != nil {
+		t2 = o.Now()
+		if published {
+			o.AdvertDone(i, int64(next), t2-t1, t2)
+		}
+	}
 	pe.windows.Add(1)
 	s.runWindow(horizon)
-	pe.publishFloor(i, horizon)
+	var t3 int64
+	if o != nil {
+		t3 = o.Now()
+		o.WindowDone(i, int64(next), t3-t2, t3)
+	}
+	published = pe.publishFloor(i, horizon)
+	if o != nil {
+		t4 := o.Now()
+		if published {
+			o.AdvertDone(i, int64(horizon), t4-t3, t4)
+		}
+	}
 	return true
 }
 
@@ -580,7 +655,7 @@ func (pe *PartitionedEngine) quiesceLocked() {
 			pe.adverts.Add(1)
 		}
 	}
-	runnable := false
+	freed := 0
 	for i := 0; i < k; i++ {
 		if next[i] == timeInf {
 			continue
@@ -598,10 +673,13 @@ func (pe *PartitionedEngine) quiesceLocked() {
 			pe.state[i] = shardRunnable
 			pe.blockedN--
 			pe.pushRunqLocked(i)
-			runnable = true
+			freed++
 		}
 	}
-	if runnable {
+	if pe.obs != nil {
+		pe.obs.FixpointRound(freed)
+	}
+	if freed > 0 {
 		pe.cond.Broadcast()
 		return
 	}
@@ -625,7 +703,15 @@ func (pe *PartitionedEngine) quiesceLocked() {
 		blocked = append(blocked, s.blocked()...)
 	}
 	sort.Strings(blocked)
-	pe.finishLocked(&DeadlockError{Time: pe.Now(), Blocked: blocked})
+	err := &DeadlockError{Time: pe.Now(), Blocked: blocked}
+	if pe.obs != nil {
+		// Every shard is parked, so closing the open stalls and dumping the
+		// flight recorder here is single-writer-safe — and the evidence is
+		// still resident in the rings.
+		pe.obs.CloseStalls()
+		pe.obs.Deadlock(int64(err.Time), strings.Join(blocked, "; "))
+	}
+	pe.finishLocked(err)
 }
 
 // finishLocked records the outcome and releases every worker.
@@ -653,6 +739,10 @@ func (pe *PartitionedEngine) Run(workers int) error {
 	if workers <= 0 || workers > k {
 		workers = k
 	}
+	var runStart int64
+	if pe.obs != nil {
+		runStart = pe.obs.Now()
+	}
 	pe.runq = make([]int, 0, 2*k)
 	for i := 0; i < k; i++ {
 		pe.state[i] = shardRunnable
@@ -665,6 +755,9 @@ func (pe *PartitionedEngine) Run(workers int) error {
 	}
 	wg.Wait()
 	pe.shutdown(pe.err)
+	if pe.obs != nil {
+		pe.obs.EngineDone(pe.obs.Now()-runStart, workers)
+	}
 	return pe.err
 }
 
@@ -672,6 +765,14 @@ func (pe *PartitionedEngine) Run(workers int) error {
 // shards in index order, cross events drained every window and clamped to
 // the target's clock on delivery — serial reference semantics.
 func (pe *PartitionedEngine) runSerial() error {
+	var runStart int64
+	if pe.obs != nil {
+		runStart = pe.obs.Now()
+		pe.obs.Lockstep()
+		defer func() {
+			pe.obs.EngineDone(pe.obs.Now()-runStart, 1)
+		}()
+	}
 	for {
 		for to := 0; to < pe.k; to++ {
 			for from := 0; from < pe.k; from++ {
@@ -702,6 +803,9 @@ func (pe *PartitionedEngine) runSerial() error {
 			}
 			sort.Strings(blocked)
 			err := &DeadlockError{Time: pe.Now(), Blocked: blocked}
+			if pe.obs != nil {
+				pe.obs.Deadlock(int64(err.Time), strings.Join(blocked, "; "))
+			}
 			pe.shutdown(err)
 			return err
 		}
